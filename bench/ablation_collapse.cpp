@@ -1,0 +1,68 @@
+// Ablation A2: which Delta-V expression should the collapse use?
+// Compares case (a) only (Eq. 7), case (b) only (Eq. 8), the paper's blend
+// (Eq. 10) and the refined closed form against the exact solver, across
+// stack depths, width ratios and temperatures.
+//
+// Design-choice conclusion this bench documents: the blend is required (each
+// single asymptote fails off its own side); the refinement buys another ~5x
+// accuracy at zero iteration cost.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "device/tech.hpp"
+#include "leakage/collapse.hpp"
+#include "leakage/exact_stack.hpp"
+
+int main() {
+  using namespace ptherm;
+  using device::MosType;
+  using leakage::CollapseVariant;
+
+  const auto tech = device::Technology::cmos012();
+
+  struct Scenario {
+    const char* name;
+    std::vector<double> widths;
+    double temp;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"2-stack equal 300K", {1e-6, 1e-6}, 300.0},
+      {"2-stack top/bot=4 300K", {1e-6, 4e-6}, 300.0},
+      {"2-stack top/bot=0.25 300K", {1e-6, 0.25e-6}, 300.0},
+      {"3-stack equal 300K", {1e-6, 1e-6, 1e-6}, 300.0},
+      {"4-stack equal 300K", {1e-6, 1e-6, 1e-6, 1e-6}, 300.0},
+      {"4-stack equal 400K", {1e-6, 1e-6, 1e-6, 1e-6}, 400.0},
+      {"4-stack mixed 350K", {0.4e-6, 1.6e-6, 0.8e-6, 2.4e-6}, 350.0},
+      {"6-stack equal 300K", std::vector<double>(6, 1e-6), 300.0},
+  };
+
+  Table table("Ablation A2 - collapse Delta-V variants, error vs exact (%)");
+  table.set_columns({"scenario", "case_a_%", "case_b_%", "paper_blend_%", "refined_%"});
+  table.set_precision(4);
+
+  double sum_abs[4] = {0, 0, 0, 0};
+  for (const auto& s : scenarios) {
+    const auto exact =
+        leakage::solve_exact_chain(tech, MosType::Nmos, s.widths, tech.l_drawn, s.temp);
+    const CollapseVariant variants[] = {CollapseVariant::CaseAOnly,
+                                        CollapseVariant::CaseBOnly,
+                                        CollapseVariant::PaperBlend,
+                                        CollapseVariant::Refined};
+    std::vector<Table::Cell> row{std::string(s.name)};
+    for (int k = 0; k < 4; ++k) {
+      const double i = leakage::chain_off_current(tech, MosType::Nmos, s.widths,
+                                                  tech.l_drawn, s.temp, 0.0, variants[k]);
+      const double err = (i / exact.current - 1.0) * 100.0;
+      sum_abs[k] += std::abs(err) / static_cast<double>(scenarios.size());
+      row.push_back(err);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  table.write_csv_file("ablation_collapse.csv");
+  std::cout << "\nMean |error|: case_a " << sum_abs[0] << "%, case_b " << sum_abs[1]
+            << "%, paper blend " << sum_abs[2] << "%, refined " << sum_abs[3] << "%\n";
+  return 0;
+}

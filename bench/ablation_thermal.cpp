@@ -1,0 +1,96 @@
+// Ablation A1: what does each ingredient of the thermal estimator buy?
+//  * naive point source vs line source vs min(T0, Tline) vs exact, for the
+//    single-device profile;
+//  * lateral image order 0/1/2/3 and the sink-plane z-series on/off, for the
+//    die-level field (validated against FDM).
+#include <cmath>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "floorplan/generators.hpp"
+#include "thermal/fdm.hpp"
+#include "thermal/images.hpp"
+
+int main() {
+  using namespace ptherm;
+  using thermal::HeatSource;
+
+  // --- Part 1: single-device kernels ------------------------------------
+  const double k_si = 148.0;
+  const HeatSource dev{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  Table kernels("Ablation A1a - profile kernels vs exact (mean |rel err| %, x in [0,5um])");
+  kernels.set_columns({"kernel", "mean_rel_%", "max_rel_%"});
+  kernels.set_precision(4);
+  std::vector<double> exact, point, line, min_est;
+  for (double x = 0.25e-6; x <= 5e-6; x += 0.05e-6) {
+    exact.push_back(thermal::rect_rise_exact(k_si, dev, x, 0.0));
+    point.push_back(thermal::point_source_rise(k_si, dev.power, x));
+    line.push_back(std::min(thermal::line_source_rise(k_si, dev.power, dev.w, x, 0.0),
+                            thermal::rect_center_rise(k_si, dev.power, dev.w, dev.l)));
+    min_est.push_back(thermal::rect_rise_min(k_si, dev, x, 0.0));
+  }
+  auto report = [&](const char* name, const std::vector<double>& series) {
+    const auto err = compare_series(series, exact);
+    kernels.add_row({std::string(name), err.mean_rel * 100.0, err.max_rel * 100.0});
+  };
+  report("point source (Eq. 16)", point);
+  report("min(T0, line) (Eq. 20)", min_est);
+  report("line clipped at T0", line);
+  kernels.print(std::cout);
+  kernels.write_csv_file("ablation_thermal_kernels.csv");
+
+  // --- Part 2: die-level boundary treatment ------------------------------
+  thermal::Die die;
+  die.width = 1e-3;
+  die.height = 1e-3;
+  die.thickness = 350e-6;
+  die.k_si = k_si;
+  die.t_sink = 300.0;
+  const auto tech = device::Technology::cmos012();
+  const auto fp = floorplan::make_three_block_ic(tech, die, 0.5, 0.3, 0.2);
+  const auto sources = fp.heat_sources(tech);
+
+  thermal::FdmOptions fopts;
+  fopts.nx = 48;
+  fopts.ny = 48;
+  fopts.nz = 24;
+  thermal::FdmThermalSolver fdm(die, fopts);
+  const auto sol = fdm.solve_steady(sources);
+
+  // Probe points: block centres plus an edge and a corner.
+  struct Probe {
+    double x, y;
+  };
+  std::vector<Probe> probes;
+  for (const auto& b : fp.blocks()) probes.push_back({b.rect.cx(), b.rect.cy()});
+  probes.push_back({0.02e-3, 0.5e-3});
+  probes.push_back({0.95e-3, 0.95e-3});
+
+  Table boundary("Ablation A1b - boundary treatment vs FDM (mean |rel err| % of rise)");
+  boundary.set_columns({"configuration", "mean_rel_%", "max_rel_%"});
+  boundary.set_precision(4);
+  auto run_config = [&](const char* name, int order, bool bottom) {
+    thermal::ImageOptions opts;
+    opts.lateral_order = order;
+    opts.bottom_images = bottom;
+    const thermal::ChipThermalModel model(die, sources, opts);
+    std::vector<double> got, want;
+    for (const auto& p : probes) {
+      got.push_back(model.rise(p.x, p.y));
+      want.push_back(fdm.surface_rise(sol, p.x, p.y));
+    }
+    const auto err = compare_series(got, want);
+    boundary.add_row({std::string(name), err.mean_rel * 100.0, err.max_rel * 100.0});
+  };
+  run_config("no images at all", 0, false);
+  run_config("sink plane only", 0, true);
+  run_config("lateral order 1 + sink", 1, true);
+  run_config("lateral order 2 + sink", 2, true);
+  run_config("lateral order 3 + sink", 3, true);
+  run_config("lateral order 3, no sink", 3, false);
+  std::cout << "\n";
+  boundary.print(std::cout);
+  boundary.write_csv_file("ablation_thermal_boundary.csv");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 1 reproduction: dynamic vs static power across technology
+// generations (0.8 um ... 0.025 um) at 25/100/150 C.
+//
+// Paper claim reproduced: dynamic power grows and then flattens (power
+// wall); static power is exponential in temperature and the 150 C static
+// curve overtakes dynamic at the end of the roadmap.
+#include <iostream>
+
+#include "common/constants.hpp"
+#include "common/table.hpp"
+#include "scaling/roadmap.hpp"
+
+int main() {
+  using namespace ptherm;
+
+  Table table("Fig. 1 - power vs technology node (watts)");
+  table.set_columns({"node_um", "vdd_V", "vt0_V", "P_dynamic", "P_static_25C",
+                     "P_static_100C", "P_static_150C", "static_share_100C"});
+  table.set_precision(4);
+
+  int crossover_150 = -1;
+  int index = 0;
+  for (const auto& node : scaling::default_roadmap()) {
+    const auto p25 = scaling::node_power(node, celsius(25.0));
+    const auto p100 = scaling::node_power(node, celsius(100.0));
+    const auto p150 = scaling::node_power(node, celsius(150.0));
+    table.add_row({node.feature_um, node.tech.vdd, node.tech.vt0_n, p25.dynamic, p25.stat,
+                   p100.stat, p150.stat, p100.stat / (p100.stat + p100.dynamic)});
+    if (crossover_150 < 0 && p150.stat > p150.dynamic) crossover_150 = index;
+    ++index;
+  }
+  table.print(std::cout);
+  table.write_csv_file("fig1_scaling.csv");
+
+  std::cout << "\n";
+  if (crossover_150 >= 0) {
+    const auto nodes = scaling::default_roadmap();
+    std::cout << "Static power at 150C overtakes dynamic at the "
+              << nodes[crossover_150].feature_um << " um node (paper: end of roadmap).\n";
+  } else {
+    std::cout << "WARNING: no 150C crossover found - shape mismatch vs the paper.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 3 reproduction: drain-source voltage of the lower transistor in a
+// two-transistor stack — the empirical Eq. (10) against the exact numerical
+// solution, across the width-ratio range (expressed through f, Eq. 9).
+//
+// Paper claim reproduced: Eq. (10) is "a good approximation" to the exact
+// V_{N-1} - V_{N-2} over the whole f range; the two analytic asymptotes
+// (Eqs. 7 and 8) are each valid only on their own side.
+#include <cmath>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "device/tech.hpp"
+#include "leakage/collapse.hpp"
+#include "leakage/exact_stack.hpp"
+
+int main() {
+  using namespace ptherm;
+  using device::MosType;
+
+  const auto tech = device::Technology::cmos012();
+  const double temp = 300.0;
+  const double w_bottom = 1e-6;
+
+  Table table("Fig. 3 - V_DS of the bottom device in a 2-stack (mV)");
+  table.set_columns({"w_top/w_bottom", "f", "exact_mV", "eq10_blend_mV", "case_a_mV",
+                     "case_b_mV", "refined_mV"});
+  table.set_precision(5);
+
+  std::vector<double> exact_series, blend_series, refined_series;
+  for (double log_ratio = -3.0; log_ratio <= 3.0 + 1e-9; log_ratio += 0.25) {
+    const double ratio = std::pow(10.0, log_ratio);
+    const double w_top = ratio * w_bottom;
+    const double f = leakage::collapse_f(tech, w_top, w_bottom, temp);
+    const double exact =
+        leakage::exact_two_stack_delta_v(tech, MosType::Nmos, w_bottom, w_top,
+                                         tech.l_drawn, temp);
+    const double blend = leakage::delta_v_blend(tech, f, temp);
+    const double case_a = leakage::delta_v_case_a(tech, f, temp);
+    const double case_b = leakage::delta_v_case_b(tech, f, temp);
+    const double refined = leakage::delta_v_refined(tech, f, temp);
+    table.add_row({ratio, f, exact * 1e3, blend * 1e3, case_a * 1e3,
+                   std::min(case_b, 1.0) * 1e3, refined * 1e3});
+    exact_series.push_back(exact);
+    blend_series.push_back(blend);
+    refined_series.push_back(refined);
+  }
+  table.print(std::cout);
+  table.write_csv_file("fig3_stack_vds.csv");
+
+  const auto blend_err = compare_series(blend_series, exact_series);
+  const auto refined_err = compare_series(refined_series, exact_series);
+  std::cout << "\nEq. (10) blend vs exact: max " << blend_err.max_abs * 1e3 << " mV, mean rel "
+            << blend_err.mean_rel * 100.0 << "%\n";
+  std::cout << "Refined closed form vs exact: max " << refined_err.max_abs * 1e3
+            << " mV, mean rel " << refined_err.mean_rel * 100.0 << "%\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Speed study S1 (co-simulation): the headline workflow — a concurrent
+// power-thermal solve of a full floorplan — with the analytic backend (the
+// paper's proposal) versus the FDM backend (the "numerical approach").
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/cosim.hpp"
+#include "core/rc_network.hpp"
+#include "floorplan/generators.hpp"
+
+namespace {
+
+using namespace ptherm;
+
+thermal::Die die_1mm() {
+  thermal::Die d;
+  d.width = 1e-3;
+  d.height = 1e-3;
+  d.thickness = 350e-6;
+  d.k_si = 148.0;
+  d.t_sink = 318.15;
+  return d;
+}
+
+floorplan::Floorplan plan(int nx, int ny, double p_total) {
+  Rng rng(99);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = p_total;
+  cfg.gates_per_mm2 = 1e5;
+  return floorplan::make_uniform_grid(device::Technology::cmos012(), die_1mm(), nx, ny, cfg,
+                                      rng);
+}
+
+void BM_CosimAnalytic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  for (auto _ : state) {
+    core::ElectroThermalSolver solver(device::Technology::cmos012(), fp, {});
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_CosimAnalytic)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_CosimFdm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  core::CosimOptions opts;
+  opts.backend = core::ThermalBackend::Fdm;
+  opts.fdm.nx = 32;
+  opts.fdm.ny = 32;
+  opts.fdm.nz = 16;
+  for (auto _ : state) {
+    core::ElectroThermalSolver solver(device::Technology::cmos012(), fp, opts);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_CosimFdm)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CosimIterationOnly(benchmark::State& state) {
+  // The fixed point after the influence matrix exists: this is the marginal
+  // cost of re-running the concurrent solve when only powers change.
+  const auto fp = plan(6, 6, 4.0);
+  core::ElectroThermalSolver solver(device::Technology::cmos012(), fp, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_CosimIterationOnly)->Unit(benchmark::kMillisecond);
+
+
+void BM_RcNetworkTransient(benchmark::State& state) {
+  // The compact-RC transient (extension): a 20 ms electro-thermal transient
+  // of a 16-block die in closed form + ODE integration — contrast with
+  // BM_CosimFdm, which needs a full FDM solve per influence column alone.
+  const auto fp = plan(4, 4, 4.0);
+  core::RcNetworkOptions opts;
+  opts.t_stop = 20e-3;
+  opts.dt = 1e-4;
+  const core::RcThermalNetwork net(device::Technology::cmos012(), fp, opts);
+  const core::ActivityProfile profile = [](std::size_t, double) { return 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.solve(profile));
+  }
+}
+BENCHMARK(BM_RcNetworkTransient)->Unit(benchmark::kMillisecond);
+
+}  // namespace

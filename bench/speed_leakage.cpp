@@ -1,0 +1,118 @@
+// Speed study S1 (leakage): the paper's core claim is that closed-form
+// models make electro-thermal estimation fast enough for full chips, where
+// "numerical approaches (as SPICE simulations)" are not. This bench times
+//   * the collapse model (both variants),
+//   * the exact nested-Brent stack solver,
+//   * the full MNA Newton solve of the same stack,
+//   * gate-level and netlist-level model evaluation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/mosfet.hpp"
+#include "leakage/collapse.hpp"
+#include "leakage/exact_stack.hpp"
+#include "leakage/gate.hpp"
+#include "netlist/cells.hpp"
+#include "netlist/netlist.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+
+namespace {
+
+using namespace ptherm;
+using device::MosModel;
+using device::MosType;
+
+const device::Technology& tech() {
+  static const auto t = device::Technology::cmos012();
+  return t;
+}
+
+void BM_CollapseModelStack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> widths(n, 1e-6);
+  double temp = 300.0;
+  for (auto _ : state) {
+    temp = (temp < 400.0) ? temp + 0.01 : 300.0;  // defeat value caching
+    benchmark::DoNotOptimize(
+        leakage::chain_off_current(tech(), MosType::Nmos, widths, 0.12e-6, temp));
+  }
+}
+BENCHMARK(BM_CollapseModelStack)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CollapseRefinedStack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> widths(n, 1e-6);
+  double temp = 300.0;
+  for (auto _ : state) {
+    temp = (temp < 400.0) ? temp + 0.01 : 300.0;
+    benchmark::DoNotOptimize(leakage::chain_off_current(
+        tech(), MosType::Nmos, widths, 0.12e-6, temp, 0.0,
+        leakage::CollapseVariant::Refined));
+  }
+}
+BENCHMARK(BM_CollapseRefinedStack)->Arg(2)->Arg(4);
+
+void BM_ExactStackSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> widths(n, 1e-6);
+  double temp = 300.0;
+  for (auto _ : state) {
+    temp = (temp < 400.0) ? temp + 0.01 : 300.0;
+    benchmark::DoNotOptimize(
+        leakage::solve_exact_chain(tech(), MosType::Nmos, widths, 0.12e-6, temp));
+  }
+}
+BENCHMARK(BM_ExactStackSolver)->Arg(2)->Arg(4);
+
+void BM_MnaStackSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  spice::Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), tech().vdd);
+  spice::NodeId below = spice::Circuit::ground();
+  for (int i = 0; i < n; ++i) {
+    const spice::NodeId above = (i + 1 == n) ? vdd : ckt.node("n" + std::to_string(i));
+    ckt.add_mosfet("M" + std::to_string(i), above, spice::Circuit::ground(), below,
+                   spice::Circuit::ground(),
+                   MosModel(tech(), MosType::Nmos, 1e-6, 0.12e-6));
+    below = above;
+  }
+  spice::DcOptions opts;
+  for (auto _ : state) {
+    opts.temp = (opts.temp < 400.0) ? opts.temp + 0.01 : 300.0;
+    benchmark::DoNotOptimize(spice::solve_dc(ckt, opts));
+  }
+}
+BENCHMARK(BM_MnaStackSolve)->Arg(2)->Arg(4);
+
+void BM_GateStaticNand4AllVectors(benchmark::State& state) {
+  const netlist::CellLibrary lib(tech());
+  const auto cell = lib.find("nand4");
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (unsigned v = 0; v < 16; ++v) {
+      sum += leakage::gate_static(tech(), *cell, leakage::vector_from_index(v, 4), 320.0)
+                 .i_off;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_GateStaticNand4AllVectors);
+
+void BM_NetlistLeakage(benchmark::State& state) {
+  Rng rng(5);
+  const netlist::CellLibrary lib(tech());
+  const auto nl = netlist::make_random_netlist(lib, static_cast<int>(state.range(0)), rng);
+  double temp = 300.0;
+  for (auto _ : state) {
+    temp = (temp < 400.0) ? temp + 0.01 : 300.0;
+    benchmark::DoNotOptimize(nl.total_off_current(tech(), temp));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetlistLeakage)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace

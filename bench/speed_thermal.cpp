@@ -1,0 +1,104 @@
+// Speed study S1 (thermal): closed-form image-method evaluation versus the
+// FDM reference, plus the cost anatomy of the analytic model (kernel,
+// z-series, full map).
+#include <benchmark/benchmark.h>
+
+#include "floorplan/generators.hpp"
+#include "thermal/fdm.hpp"
+#include "thermal/images.hpp"
+
+namespace {
+
+using namespace ptherm;
+
+thermal::Die die_1mm() {
+  thermal::Die d;
+  d.width = 1e-3;
+  d.height = 1e-3;
+  d.thickness = 350e-6;
+  d.k_si = 148.0;
+  d.t_sink = 300.0;
+  return d;
+}
+
+std::vector<thermal::HeatSource> three_sources() {
+  const auto tech = device::Technology::cmos012();
+  return floorplan::make_three_block_ic(tech, die_1mm(), 0.5, 0.3, 0.2)
+      .heat_sources(tech);
+}
+
+void BM_RectKernelExact(benchmark::State& state) {
+  const thermal::HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  double x = 0.0;
+  for (auto _ : state) {
+    x = (x < 5e-6) ? x + 1e-9 : 0.0;
+    benchmark::DoNotOptimize(thermal::rect_rise_exact(148.0, src, x, 0.3e-6));
+  }
+}
+BENCHMARK(BM_RectKernelExact);
+
+void BM_RectKernelMin(benchmark::State& state) {
+  const thermal::HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  double x = 0.0;
+  for (auto _ : state) {
+    x = (x < 5e-6) ? x + 1e-9 : 0.0;
+    benchmark::DoNotOptimize(thermal::rect_rise_min(148.0, src, x, 0.3e-6));
+  }
+}
+BENCHMARK(BM_RectKernelMin);
+
+void BM_ChipModelPointQuery(benchmark::State& state) {
+  thermal::ImageOptions opts;
+  opts.lateral_order = static_cast<int>(state.range(0));
+  const thermal::ChipThermalModel model(die_1mm(), three_sources(), opts);
+  double x = 0.0;
+  for (auto _ : state) {
+    x = (x < 0.9e-3) ? x + 1e-7 : 0.0;
+    benchmark::DoNotOptimize(model.rise(x, 0.5e-3));
+  }
+}
+BENCHMARK(BM_ChipModelPointQuery)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ChipModelSurfaceMap(benchmark::State& state) {
+  thermal::ImageOptions opts;
+  opts.lateral_order = 2;
+  const thermal::ChipThermalModel model(die_1mm(), three_sources(), opts);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.surface_map(n, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ChipModelSurfaceMap)->Arg(32)->Arg(64);
+
+void BM_FdmSteadySolve(benchmark::State& state) {
+  thermal::FdmOptions opts;
+  const int n = static_cast<int>(state.range(0));
+  opts.nx = n;
+  opts.ny = n;
+  opts.nz = n / 2;
+  const thermal::FdmThermalSolver solver(die_1mm(), opts);
+  const auto sources = three_sources();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_steady(sources));
+  }
+}
+BENCHMARK(BM_FdmSteadySolve)->Arg(16)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_FdmWarmStartedResolve(benchmark::State& state) {
+  thermal::FdmOptions opts;
+  opts.nx = 32;
+  opts.ny = 32;
+  opts.nz = 16;
+  const thermal::FdmThermalSolver solver(die_1mm(), opts);
+  auto sources = three_sources();
+  auto sol = solver.solve_steady(sources);
+  for (auto _ : state) {
+    sources[0].power *= 1.001;  // small perturbation, as in a cosim iteration
+    sol = solver.solve_steady(sources, &sol.rise);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_FdmWarmStartedResolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Extension bench: variation-aware leakage. VT0 variation makes leakage
+// lognormal; this bench quantifies the mean-vs-nominal penalty and the
+// tail (p95) across sigma values and temperatures for a 2000-gate block,
+// and checks the Monte Carlo against the closed-form lognormal moments.
+#include <iostream>
+
+#include "common/constants.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "device/variation.hpp"
+#include "netlist/netlist.hpp"
+
+int main() {
+  using namespace ptherm;
+
+  const auto tech = device::Technology::cmos012();
+  const netlist::CellLibrary lib(tech);
+  Rng build(2718);
+  const auto nl = netlist::make_random_netlist(lib, 2000, build);
+
+  Table table("Variation study - 2000-gate block, Monte Carlo (400 samples)");
+  table.set_columns({"sigma_vt0_mV", "T_C", "nominal_uA", "mean_uA", "mean/nominal",
+                     "closed_form_penalty", "p95/nominal"});
+  table.set_precision(4);
+
+  for (double sigma_mv : {15.0, 30.0, 45.0}) {
+    const device::VariationModel var{sigma_mv * 1e-3};
+    for (double t_c : {25.0, 110.0}) {
+      Rng mc(static_cast<std::uint64_t>(sigma_mv * 1000 + t_c));
+      const auto stats =
+          netlist::variation_leakage(nl, tech, var, celsius(t_c), 400, mc);
+      table.add_row({sigma_mv, t_c, stats.nominal / uA, stats.mean / uA,
+                     stats.mean / stats.nominal, var.mean_multiplier(tech, celsius(t_c)),
+                     stats.p95 / stats.nominal});
+    }
+  }
+  table.print(std::cout);
+  table.write_csv_file("variation_study.csv");
+
+  std::cout << "\nReading: the mean chip leaks exp(s^2/2) more than the nominal chip\n"
+               "(s = sigma_vt0/(n*VT)); the penalty is worst cold, where n*VT is small.\n"
+               "Nominal-corner leakage sign-off under-budgets by the 'mean/nominal' column.\n";
+  return 0;
+}

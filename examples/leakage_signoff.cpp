@@ -1,0 +1,77 @@
+// Scenario: standby-leakage sign-off of a gate-level netlist — the
+// "standby leakage of transistor stacks" use-case of the paper's §2 and of
+// baseline [8]. Reports per-cell leakage across vectors, the best standby
+// input vector, Monte-Carlo statistics for a random block, and the
+// temperature derating table a sign-off flow would quote.
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace ptherm;
+
+  const auto tech = device::Technology::cmos012();
+  const netlist::CellLibrary library(tech);
+
+  // --- Per-cell leakage characterisation ---------------------------------
+  Table cells("Cell leakage characterisation at 25 C / 110 C (nA)");
+  cells.set_columns({"cell", "min_25C", "mean_25C", "max_25C", "mean_110C",
+                     "best_standby_vector"});
+  cells.set_precision(4);
+  for (const auto& name : library.names()) {
+    const auto cell = library.find(name);
+    const auto cold = leakage::gate_leakage_summary(tech, *cell, celsius(25.0));
+    const auto hot = leakage::gate_leakage_summary(tech, *cell, celsius(110.0));
+    std::string vec;
+    for (bool b : cold.min_vector) vec += b ? '1' : '0';
+    cells.add_row({name, cold.min_i_off / nA, cold.mean_i_off / nA, cold.max_i_off / nA,
+                   hot.mean_i_off / nA, vec});
+  }
+  cells.print(std::cout);
+
+  // --- Block-level Monte Carlo -------------------------------------------
+  Rng rng(42);
+  const auto nl = netlist::make_random_netlist(library, 5000, rng);
+  std::cout << "\nRandom block: " << nl.size() << " cells, " << nl.transistor_count()
+            << " transistors\n";
+  Rng mc(43);
+  for (double t_c : {25.0, 70.0, 110.0}) {
+    const auto stats = nl.monte_carlo_leakage(tech, celsius(t_c), 30, mc);
+    std::cout << "  T = " << t_c << " C:  mean " << stats.mean / uA << " uA,  spread ["
+              << stats.min / uA << ", " << stats.max / uA << "] uA over random states\n";
+  }
+
+  // --- Reverse body bias knob ---------------------------------------------
+  std::cout << "\nReverse body bias at 110 C (standby leakage knob, Eq. 13):\n";
+  const double base = nl.total_off_current(tech, celsius(110.0), 0.0);
+  for (double vb : {0.0, -0.2, -0.4}) {
+    const double i = nl.total_off_current(tech, celsius(110.0), vb);
+    std::cout << "  VB = " << vb << " V:  " << i / uA << " uA  ("
+              << 100.0 * i / base << "% of zero-bias)\n";
+  }
+
+  // --- Standby vector optimization ------------------------------------------
+  {
+    netlist::Netlist standby = nl;
+    const double before = standby.total_off_current(tech, celsius(110.0));
+    netlist::optimize_standby_vectors(standby, tech, celsius(110.0));
+    const double after = standby.total_off_current(tech, celsius(110.0));
+    std::cout << "\nStandby-vector optimization at 110 C: " << before / uA << " uA -> "
+              << after / uA << " uA  (" << 100.0 * (1.0 - after / before)
+              << "% saved by parking every gate at its best vector)\n";
+  }
+
+  // --- Temperature derating table ------------------------------------------
+  Table derate("Leakage derating vs temperature (x over 25 C)");
+  derate.set_columns({"T_C", "leakage_multiplier"});
+  derate.set_precision(4);
+  const double i25 = nl.total_off_current(tech, celsius(25.0));
+  for (double t_c = 25.0; t_c <= 145.0 + 1e-9; t_c += 20.0) {
+    derate.add_row({t_c, nl.total_off_current(tech, celsius(t_c)) / i25});
+  }
+  std::cout << "\n";
+  derate.print(std::cout);
+  std::cout << "\nThe multiplier doubles every ~20 C - the reason the paper couples the\n"
+               "leakage model to the thermal model instead of assuming one temperature.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Scenario: technology-scaling power forecast (the Fig. 1 use case as a
+// planning tool). For each roadmap node, the example reports dynamic and
+// static power at the designer's operating temperature, the static share,
+// and — the paper's point — how much the static estimate moves when the
+// operating temperature itself is solved concurrently instead of assumed.
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace ptherm;
+
+  Table table("Power forecast across the roadmap (die-level, watts)");
+  table.set_columns({"node_um", "vdd", "P_dyn", "P_stat_85C", "P_stat_self_consistent",
+                     "T_self_C", "underestimate_%"});
+  table.set_precision(4);
+
+  for (const auto& node : scaling::default_roadmap()) {
+    const auto p85 = scaling::node_power(node, celsius(85.0));
+
+    // Self-consistent junction temperature for a uniformly heated die on a
+    // 0.6 K/W package: T = T_amb + R * (P_dyn + P_stat(T)), a scalar version
+    // of the paper's concurrent loop.
+    const double r_pkg = 0.6;
+    const double t_amb = celsius(85.0);
+    double t = t_amb;
+    bool runaway = false;
+    for (int it = 0; it < 200; ++it) {
+      const auto p = scaling::node_power(node, t);
+      const double t_next = t_amb + r_pkg * (p.dynamic + p.stat);
+      if (t_next > celsius(250.0)) {
+        // Exponential leakage vs linear cooling: no fixed point exists at
+        // this package resistance — genuine leakage-thermal runaway.
+        runaway = true;
+        break;
+      }
+      if (std::abs(t_next - t) < 1e-4) {
+        t = t_next;
+        break;
+      }
+      t += 0.5 * (t_next - t);
+    }
+    if (runaway) {
+      table.add_row({node.feature_um, node.tech.vdd, p85.dynamic, p85.stat,
+                     std::string("RUNAWAY"), std::string(">250"), std::string("-")});
+      continue;
+    }
+    const auto p_self = scaling::node_power(node, t);
+    const double under = (p_self.stat - p85.stat) / std::max(p_self.stat, 1e-12) * 100.0;
+    table.add_row({node.feature_um, node.tech.vdd, p85.dynamic, p85.stat, p_self.stat,
+                   to_celsius(t), under});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: at the sub-100nm nodes the fixed-temperature estimate misses a\n"
+               "growing slice of the true static power because the die heats itself -\n"
+               "the error the paper's concurrent model exists to remove.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Physical constants and unit helpers shared by every ptherm module.
+//
+// All quantities are SI unless a suffix says otherwise (temperatures in
+// kelvin, lengths in metres, power in watts). Conversion helpers are
+// provided so call sites read like the paper: `1.0 * um`, `celsius(25)`.
+#pragma once
+
+namespace ptherm {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// 0 degrees Celsius in kelvin.
+inline constexpr double kZeroCelsius = 273.15;
+
+/// Thermal conductivity of bulk silicon near 300 K [W/(m*K)].
+/// (The paper's era used 148-150; temperature dependence is ignored, as in
+/// the paper's Eq. (15) with constant k.)
+inline constexpr double kSiliconThermalConductivity = 148.0;
+
+/// Volumetric heat capacity of silicon [J/(m^3*K)] (rho*cp = 2330*700).
+inline constexpr double kSiliconVolumetricHeatCapacity = 1.631e6;
+
+/// Thermal voltage VT = kB*T/q [V] at absolute temperature `temp_k`.
+[[nodiscard]] constexpr double thermal_voltage(double temp_k) noexcept {
+  return kBoltzmann * temp_k / kElementaryCharge;
+}
+
+/// Convert a Celsius temperature to kelvin.
+[[nodiscard]] constexpr double celsius(double deg_c) noexcept { return deg_c + kZeroCelsius; }
+
+/// Convert a kelvin temperature to Celsius.
+[[nodiscard]] constexpr double to_celsius(double temp_k) noexcept { return temp_k - kZeroCelsius; }
+
+// ---- length / time / power literal-style multipliers -----------------------
+inline constexpr double meter = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+inline constexpr double second = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+inline constexpr double watt = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+
+inline constexpr double ampere = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+inline constexpr double pA = 1e-12;
+
+inline constexpr double volt = 1.0;
+inline constexpr double mV = 1e-3;
+
+inline constexpr double farad = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+inline constexpr double hertz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+}  // namespace ptherm

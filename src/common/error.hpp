@@ -1,0 +1,53 @@
+// Error handling primitives.
+//
+// ptherm reports contract violations and numerical failures with exceptions
+// derived from `ptherm::Error`. `PTHERM_REQUIRE` guards preconditions at
+// public API boundaries; internal invariants use `PTHERM_ASSERT` which is
+// compiled in all build types (the library is small enough that the cost is
+// negligible and silent corruption in an EDA tool is far worse).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptherm {
+
+/// Base class for all ptherm errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An iterative numerical procedure failed to converge.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ptherm
+
+/// Throws ptherm::PreconditionError when `expr` is false.
+#define PTHERM_REQUIRE(expr, msg)                                                  \
+  do {                                                                             \
+    if (!(expr)) ::ptherm::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Internal invariant check; active in every build type.
+#define PTHERM_ASSERT(expr, msg) PTHERM_REQUIRE(expr, msg)

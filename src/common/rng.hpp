@@ -1,0 +1,43 @@
+// Deterministic pseudo-random numbers for synthetic workloads.
+//
+// Benches and tests must be reproducible run-to-run and across platforms, so
+// we fix the generator (splitmix64) instead of relying on std::default_random_engine
+// whose streams are implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace ptherm {
+
+/// splitmix64: tiny, fast, well-distributed; plenty for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept { return next_u64() % n; }
+
+  /// Fair coin / biased coin with probability `p` of true.
+  bool bernoulli(double p = 0.5) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ptherm

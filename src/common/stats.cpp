@@ -1,0 +1,66 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm {
+
+ErrorStats compare_series(std::span<const double> model, std::span<const double> reference,
+                          double rel_floor) {
+  PTHERM_REQUIRE(model.size() == reference.size(), "series must have equal length");
+  ErrorStats s;
+  s.count = model.size();
+  if (model.empty()) return s;
+  double sum_sq = 0.0;
+  double sum_rel = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const double err = model[i] - reference[i];
+    const double abs_err = std::abs(err);
+    const double denom = std::max(std::abs(reference[i]), rel_floor);
+    const double rel = abs_err / denom;
+    s.max_abs = std::max(s.max_abs, abs_err);
+    s.max_rel = std::max(s.max_rel, rel);
+    sum_sq += err * err;
+    sum_rel += rel;
+  }
+  s.rms = std::sqrt(sum_sq / static_cast<double>(model.size()));
+  s.mean_rel = sum_rel / static_cast<double>(model.size());
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - m) * (x - m);
+  return std::sqrt(sum_sq / static_cast<double>(xs.size()));
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  PTHERM_REQUIRE(xs.size() == ys.size(), "x/y length mismatch");
+  PTHERM_REQUIRE(xs.size() >= 2, "need at least two points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  PTHERM_REQUIRE(sxx > 0.0, "degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+}  // namespace ptherm

@@ -1,0 +1,38 @@
+// Error metrics and small statistics used when comparing a model against a
+// reference (figures 3, 5, 8, 10 all report agreement between curves).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ptherm {
+
+/// Summary of the pointwise discrepancy between `model` and `reference`.
+struct ErrorStats {
+  double max_abs = 0.0;       ///< max |model - ref|
+  double rms = 0.0;           ///< sqrt(mean (model-ref)^2)
+  double max_rel = 0.0;       ///< max |model - ref| / max(|ref|, floor)
+  double mean_rel = 0.0;      ///< mean of the relative errors
+  std::size_t count = 0;
+};
+
+/// Computes ErrorStats over paired samples. `rel_floor` guards the relative
+/// error against division by tiny references.
+[[nodiscard]] ErrorStats compare_series(std::span<const double> model,
+                                        std::span<const double> reference,
+                                        double rel_floor = 1e-30);
+
+/// Arithmetic mean; returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population standard deviation; returns 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ptherm

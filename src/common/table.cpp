@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptherm {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<std::string> names) {
+  PTHERM_REQUIRE(rows_.empty(), "set_columns must precede add_row");
+  PTHERM_REQUIRE(!names.empty(), "a table needs at least one column");
+  columns_ = std::move(names);
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  PTHERM_REQUIRE(cells.size() == columns_.size(), "row arity must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+double Table::value(std::size_t row, std::size_t col) const {
+  PTHERM_REQUIRE(row < rows_.size() && col < columns_.size(), "cell index out of range");
+  const Cell& cell = rows_[row][col];
+  PTHERM_REQUIRE(std::holds_alternative<double>(cell), "cell is not numeric");
+  return std::get<double>(cell);
+}
+
+void Table::set_precision(int digits) {
+  PTHERM_REQUIRE(digits > 0 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (std::holds_alternative<std::string>(cell)) return std::get<std::string>(cell);
+  std::ostringstream os;
+  os << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    text.push_back(std::move(cells));
+  }
+  if (!title_.empty()) os << "# " << title_ << "\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::setw(static_cast<int>(widths[c]) + 2) << columns_[c];
+  }
+  os << "\n";
+  for (const auto& row : text) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  }
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ",";
+    os << escape(columns_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << escape(format_cell(row[c]));
+    }
+    os << "\n";
+  }
+}
+
+bool Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ptherm

@@ -1,0 +1,56 @@
+// Small column-oriented table used by benches and examples to print the
+// rows/series behind every reproduced figure, and to dump CSV files that a
+// plotting script can pick up verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ptherm {
+
+/// A printable table: named columns, uniform row count, aligned text output
+/// and CSV serialization. Cells are doubles or strings.
+class Table {
+ public:
+  using Cell = std::variant<double, std::string>;
+
+  explicit Table(std::string title = "");
+
+  /// Declares the column layout. Must be called before adding rows.
+  void set_columns(std::vector<std::string> names);
+
+  /// Appends one row; the arity must match the declared columns.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return columns_.size(); }
+
+  /// Returns the numeric value at (row, col); throws if the cell is a string.
+  [[nodiscard]] double value(std::size_t row, std::size_t col) const;
+
+  /// Pretty-prints with aligned columns (what bench binaries emit to stdout).
+  void print(std::ostream& os) const;
+
+  /// Serializes as RFC-4180-ish CSV (header row + data rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`; returns false if the file cannot be
+  /// opened (benches treat CSV dumps as best-effort).
+  bool write_csv_file(const std::string& path) const;
+
+  /// Number of significant digits used when formatting doubles (default 6).
+  void set_precision(int digits);
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 6;
+};
+
+}  // namespace ptherm

@@ -1,0 +1,128 @@
+#include "core/cosim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ptherm::core {
+
+ElectroThermalSolver::ElectroThermalSolver(device::Technology tech, floorplan::Floorplan fp,
+                                           CosimOptions opts)
+    : tech_(std::move(tech)), fp_(std::move(fp)), opts_(opts) {
+  PTHERM_REQUIRE(!fp_.blocks().empty(), "ElectroThermalSolver: empty floorplan");
+  PTHERM_REQUIRE(opts_.damping > 0.0 && opts_.damping <= 1.0,
+                 "ElectroThermalSolver: damping must be in (0, 1]");
+  build_influence();
+}
+
+void ElectroThermalSolver::build_influence() {
+  const auto& blocks = fp_.blocks();
+  const std::size_t n = blocks.size();
+  influence_.assign(n, std::vector<double>(n, 0.0));
+
+  // Both backends are linear in the injected power, so the influence matrix
+  // captures them exactly: R[i][j] = rise at block i per watt in block j.
+  std::vector<thermal::HeatSource> sources = fp_.heat_sources(tech_);
+  for (auto& s : sources) s.power = 0.0;
+
+  if (opts_.backend == ThermalBackend::Analytic) {
+    thermal::ChipThermalModel model(fp_.die(), sources, opts_.images);
+    for (std::size_t j = 0; j < n; ++j) {
+      model.set_source_power(j, 1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        influence_[i][j] = model.rise(blocks[i].rect.cx(), blocks[i].rect.cy());
+      }
+      model.set_source_power(j, 0.0);
+    }
+  } else if (opts_.backend == ThermalBackend::Fdm) {
+    thermal::FdmThermalSolver solver(fp_.die(), opts_.fdm);
+    for (std::size_t j = 0; j < n; ++j) {
+      std::vector<thermal::HeatSource> single = {sources[j]};
+      single[0].power = 1.0;
+      const auto sol = solver.solve_steady(single);
+      PTHERM_REQUIRE(sol.converged, "influence: FDM solve did not converge");
+      for (std::size_t i = 0; i < n; ++i) {
+        influence_[i][j] = solver.surface_rise(sol, blocks[i].rect.cx(), blocks[i].rect.cy());
+      }
+    }
+  }
+  // Package resistance couples every pair uniformly: each watt anywhere
+  // raises the whole die by r_package.
+  if (opts_.r_package > 0.0) {
+    for (auto& row : influence_) {
+      for (double& r : row) r += opts_.r_package;
+    }
+  }
+}
+
+double ElectroThermalSolver::block_leakage_power(std::size_t i, double temp) const {
+  return fp_.blocks().at(i).leakage_power(tech_, temp, opts_.vb);
+}
+
+CosimResult ElectroThermalSolver::solve() {
+  const auto& blocks = fp_.blocks();
+  const std::size_t n = blocks.size();
+  const double t_sink = fp_.die().t_sink;
+
+  CosimResult result;
+  result.blocks.resize(n);
+
+  std::vector<double> temps(n, t_sink);
+  std::vector<double> powers(n, 0.0);
+  double prev_delta = 0.0;
+  int growth_streak = 0;
+
+  for (int it = 0; it < opts_.max_iterations; ++it) {
+    result.iterations = it + 1;
+    for (std::size_t j = 0; j < n; ++j) {
+      powers[j] = blocks[j].p_dynamic + block_leakage_power(j, temps[j]);
+    }
+    double max_delta = 0.0;
+    double max_rise = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double rise = 0.0;
+      for (std::size_t j = 0; j < n; ++j) rise += influence_[i][j] * powers[j];
+      const double target = t_sink + rise;
+      const double updated = temps[i] + opts_.damping * (target - temps[i]);
+      max_delta = std::max(max_delta, std::abs(updated - temps[i]));
+      temps[i] = updated;
+      max_rise = std::max(max_rise, temps[i] - t_sink);
+    }
+    result.max_delta_last = max_delta;
+
+    if (max_rise > opts_.runaway_rise_limit) {
+      result.runaway = true;
+      break;
+    }
+    // A monotonically growing update over several iterations is the fixed
+    // point diverging: leakage-thermal runaway below the hard rise limit.
+    if (max_delta > prev_delta && it > 0) {
+      if (++growth_streak >= 10) {
+        result.runaway = true;
+        break;
+      }
+    } else {
+      growth_streak = 0;
+    }
+    prev_delta = max_delta;
+
+    if (max_delta < opts_.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.blocks[i].temperature = temps[i];
+    result.blocks[i].p_dynamic = blocks[i].p_dynamic;
+    result.blocks[i].p_leakage = block_leakage_power(i, temps[i]);
+    result.total_dynamic += result.blocks[i].p_dynamic;
+    result.total_leakage += result.blocks[i].p_leakage;
+    result.max_temperature = std::max(result.max_temperature, temps[i]);
+  }
+  return result;
+}
+
+}  // namespace ptherm::core

@@ -1,0 +1,90 @@
+// The paper's headline: the *concurrent* power-thermal solve. Leakage is
+// exponential in temperature and temperature is set by dissipated power, so
+// the two models must be solved simultaneously. This engine runs a damped
+// Picard fixed point over block temperatures,
+//     T_i  <-  T_sink + sum_j Rth_ij * P_j(T_j),
+// where the thermal influence comes from either the analytic image model
+// (fast path, closed form only — the paper's point) or the FDM reference
+// (validation path), and P_j(T) = P_dyn_j + VDD * I_off_j(T) from the
+// compact leakage model. Divergence (leakage-thermal runaway) is detected
+// and reported rather than hidden.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "thermal/fdm.hpp"
+#include "thermal/images.hpp"
+
+namespace ptherm::core {
+
+enum class ThermalBackend { Analytic, Fdm };
+
+struct CosimOptions {
+  ThermalBackend backend = ThermalBackend::Analytic;
+  thermal::ImageOptions images;        ///< analytic backend settings
+  thermal::FdmOptions fdm;             ///< FDM backend settings
+  double damping = 0.7;                ///< Picard relaxation factor (0, 1]
+  double tol = 1e-3;                   ///< convergence: max |dT| [K]
+  int max_iterations = 200;
+  double runaway_rise_limit = 400.0;   ///< rise above sink declared runaway [K]
+  double vb = 0.0;                     ///< substrate (body) bias [V]
+  /// Lumped package/heat-sink resistance [K/W]: adds a uniform rise
+  /// R_pkg * P_total on top of the on-die spreading the thermal model
+  /// resolves (the sink plane is then the package case, not the ambient).
+  double r_package = 0.0;
+};
+
+struct BlockState {
+  double temperature = 0.0;  ///< [K]
+  double p_dynamic = 0.0;    ///< [W]
+  double p_leakage = 0.0;    ///< [W] at the converged temperature
+  [[nodiscard]] double p_total() const noexcept { return p_dynamic + p_leakage; }
+};
+
+struct CosimResult {
+  bool converged = false;
+  bool runaway = false;
+  int iterations = 0;
+  std::vector<BlockState> blocks;
+  double total_dynamic = 0.0;
+  double total_leakage = 0.0;
+  double max_temperature = 0.0;   ///< hottest block [K]
+  double max_delta_last = 0.0;    ///< last iteration's max |dT| [K]
+
+  [[nodiscard]] double total_power() const noexcept { return total_dynamic + total_leakage; }
+};
+
+/// Runs the concurrent electro-thermal fixed point on a floorplan.
+/// Technology and floorplan are copied in: the solver owns everything it
+/// needs and cannot dangle (callers routinely pass temporaries).
+class ElectroThermalSolver {
+ public:
+  ElectroThermalSolver(device::Technology tech, floorplan::Floorplan fp,
+                       CosimOptions opts = {});
+
+  [[nodiscard]] CosimResult solve();
+
+  /// Leakage power of block `i` at temperature `temp` (exposed for tests and
+  /// for the runaway-analysis bench).
+  [[nodiscard]] double block_leakage_power(std::size_t i, double temp) const;
+
+  /// Thermal influence matrix R[i][j] = rise at block i's centre per watt in
+  /// block j [K/W], as realised by the configured backend. Computed lazily
+  /// by solve(); exposed because the runaway criterion (spectral condition
+  /// R * dP/dT < 1) is an ablation bench.
+  [[nodiscard]] const std::vector<std::vector<double>>& influence_matrix() const {
+    return influence_;
+  }
+
+ private:
+  void build_influence();
+
+  device::Technology tech_;
+  floorplan::Floorplan fp_;
+  CosimOptions opts_;
+  std::vector<std::vector<double>> influence_;
+};
+
+}  // namespace ptherm::core

@@ -1,0 +1,52 @@
+// Transient electro-thermal co-simulation: the time-domain counterpart of
+// the steady concurrent solve. Dynamic power follows a caller-supplied
+// activity profile; leakage is re-evaluated from each block's instantaneous
+// temperature at every step (the electro-thermal feedback); heat diffuses
+// through the FDM substrate with backward Euler.
+//
+// The paper stops at the steady problem; this module is the natural
+// extension its §5 implies ("compact analytical models for electro-thermal
+// simulation of ULSI circuits") and what a user needs for power-step /
+// thermal-cycling studies.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "thermal/fdm.hpp"
+
+namespace ptherm::core {
+
+/// Multiplier on each block's nominal dynamic power at time t (seconds).
+/// Index is the block index; return 1.0 for "nominal activity".
+using ActivityProfile = std::function<double(std::size_t block, double t)>;
+
+struct TransientCosimOptions {
+  thermal::FdmOptions fdm;
+  double dt = 1e-4;          ///< time step [s]
+  double t_stop = 20e-3;     ///< end time [s]
+  double vb = 0.0;           ///< substrate bias [V]
+  int record_every = 1;      ///< keep every k-th step in the result
+};
+
+struct TransientCosimResult {
+  std::vector<double> times;
+  /// block_temps[k][i] = temperature of block i at times[k] [K].
+  std::vector<std::vector<double>> block_temps;
+  /// Total leakage power at each recorded time [W].
+  std::vector<double> leakage_power;
+  /// Total dynamic power at each recorded time [W].
+  std::vector<double> dynamic_power;
+  int total_cg_iterations = 0;
+
+  [[nodiscard]] double peak_temperature() const;
+};
+
+/// Runs the transient co-simulation from a uniform sink-temperature start.
+TransientCosimResult solve_transient_cosim(const device::Technology& tech,
+                                           const floorplan::Floorplan& fp,
+                                           const ActivityProfile& activity,
+                                           const TransientCosimOptions& opts = {});
+
+}  // namespace ptherm::core

@@ -1,0 +1,97 @@
+#include "device/tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptherm::device {
+
+Technology Technology::cmos012() {
+  Technology t;
+  t.name = "cmos012";
+  // Defaults in the struct already describe this node; repeated here so the
+  // factory stays correct if defaults ever drift.
+  t.l_drawn = 0.12e-6;
+  t.w_min = 0.16e-6;
+  t.vdd = 1.2;
+  t.vt0_n = 0.30;
+  t.vt0_p = 0.32;
+  t.gamma_lin = 0.18;
+  t.sigma_dibl = 0.06;
+  t.k_t = -0.8e-3;
+  t.n_swing = 1.45;
+  t.i0_n = 0.35e-6;
+  t.i0_p = 0.14e-6;
+  t.t_ref = 300.0;
+  t.kp_n = 300e-6;
+  t.kp_p = 120e-6;
+  return t;
+}
+
+Technology Technology::cmos035() {
+  Technology t;
+  t.name = "cmos035";
+  t.l_drawn = 0.35e-6;
+  t.w_min = 0.5e-6;
+  t.vdd = 3.3;
+  t.vt0_n = 0.55;
+  t.vt0_p = 0.60;
+  t.gamma_lin = 0.25;
+  t.sigma_dibl = 0.02;
+  t.k_t = -1.0e-3;
+  t.n_swing = 1.5;
+  t.i0_n = 0.6e-6;
+  t.i0_p = 0.25e-6;
+  t.t_ref = 300.0;
+  t.kp_n = 190e-6;
+  t.kp_p = 70e-6;
+  t.cox_area = 4.6e-3;
+  t.t_substrate = 500e-6;
+  return t;
+}
+
+Technology Technology::scaled_node(double feature_um) {
+  PTHERM_REQUIRE(feature_um >= 0.01 && feature_um <= 2.0,
+                 "scaled_node: feature size out of supported range [0.01, 2] um");
+  Technology t;
+  std::ostringstream name;
+  name << "cmos" << feature_um << "um";
+  t.name = name.str();
+  const double f = feature_um;  // microns
+
+  t.l_drawn = f * 1e-6;
+  t.w_min = 1.4 * t.l_drawn;
+
+  // Supply: follows the historical/ITRS trajectory, 5 V at 0.8 um down to
+  // ~0.6 V at 25 nm, saturating rather than scaling to zero.
+  t.vdd = std::clamp(5.0 * std::pow(f / 0.8, 0.55), 0.6, 5.0);
+
+  // Threshold: scaled with VDD to keep gate overdrive (performance), which is
+  // exactly the mechanism that makes leakage explode (paper §1). The slope
+  // follows the aggressive low-VT trajectory behind Duarte's Fig. 1
+  // projection, with a ~130 mV variation-limited floor.
+  t.vt0_n = std::max(0.13, 0.24 * t.vdd - 0.02);
+  t.vt0_p = t.vt0_n + 0.02;
+
+  // DIBL worsens as channels shorten; body effect weakens slightly.
+  t.sigma_dibl = std::clamp(0.02 + 0.012 * std::log(0.8 / f) / std::log(2.0), 0.02, 0.14);
+  t.gamma_lin = std::clamp(0.25 - 0.02 * std::log(0.8 / f) / std::log(2.0), 0.10, 0.25);
+
+  // Subthreshold swing degrades at very short channels (SCE).
+  t.n_swing = std::clamp(1.35 + 0.07 * std::log(0.10 / f) / std::log(2.0), 1.35, 1.65);
+
+  t.k_t = -0.8e-3;
+  t.i0_n = 0.35e-6;
+  t.i0_p = 0.14e-6;
+  t.t_ref = 300.0;
+
+  // Strong inversion / capacitance: oxide thins with the node.
+  t.cox_area = 11e-3 * std::pow(0.12 / f, 0.7);
+  t.kp_n = 300e-6 * std::pow(0.12 / f, 0.4);
+  t.kp_p = t.kp_n * 0.4;
+  return t;
+}
+
+}  // namespace ptherm::device

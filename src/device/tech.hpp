@@ -1,0 +1,76 @@
+// Technology descriptors: every electrical and thermal parameter the paper's
+// equations consume, plus factory presets for the two processes the paper
+// evaluates (a 0.12 um logic process for the leakage results and a 0.35 um
+// process for the self-heating measurements) and a parametric generator used
+// by the Fig. 1 scaling roadmap.
+#pragma once
+
+#include <string>
+
+namespace ptherm::device {
+
+/// Channel type. All model equations are written for nMOS; pMOS is handled by
+/// voltage mirroring at the call sites that need it.
+enum class MosType { Nmos, Pmos };
+
+/// One CMOS process node. Units are SI (volts, metres, amperes, kelvin).
+struct Technology {
+  std::string name;
+
+  // --- geometry ---------------------------------------------------------
+  double l_drawn = 0.12e-6;   ///< drawn/minimum channel length L [m]
+  double w_min = 0.16e-6;     ///< minimum legal width [m]
+
+  // --- supply and threshold (paper Eq. 2) --------------------------------
+  double vdd = 1.2;           ///< nominal supply [V]
+  double vt0_n = 0.30;        ///< nMOS zero-bias threshold at VDS=VDD, Tref [V]
+  double vt0_p = 0.32;        ///< |pMOS| zero-bias threshold [V]
+  double gamma_lin = 0.18;    ///< gamma': linearized body-effect coefficient [-]
+  double sigma_dibl = 0.06;   ///< sigma: DIBL coefficient [V/V]
+  double k_t = -0.8e-3;       ///< KT: dVTH/dT [V/K] (negative: VTH drops with T)
+
+  // --- subthreshold conduction (paper Eq. 1) ------------------------------
+  double n_swing = 1.45;      ///< n: subthreshold slope factor [-]
+  double i0_n = 0.35e-6;      ///< I0 for nMOS [A] (per square, W/L multiplies it)
+  double i0_p = 0.14e-6;      ///< I0 for pMOS [A]
+  double t_ref = 300.0;       ///< Tref [K]
+
+  // --- strong inversion (SPICE substrate only, not used by the compact
+  //     leakage model) ------------------------------------------------------
+  double kp_n = 300e-6;       ///< nMOS transconductance u*Cox [A/V^2]
+  double kp_p = 120e-6;       ///< pMOS transconductance [A/V^2]
+  double lambda = 0.08;       ///< channel-length modulation [1/V]
+
+  // --- capacitances (dynamic power) ---------------------------------------
+  double cox_area = 11e-3;    ///< gate oxide capacitance per area [F/m^2]
+  double c_junction = 1.0e-9; ///< junction cap per drain width [F/m]
+
+  // --- thermal ------------------------------------------------------------
+  double k_si = 148.0;        ///< substrate thermal conductivity [W/(m K)]
+  double t_substrate = 350e-6;///< substrate (die) thickness to the heat sink [m]
+  double cv_si = 1.631e6;     ///< volumetric heat capacity [J/(m^3 K)]
+
+  /// Zero-bias threshold for the requested channel type.
+  [[nodiscard]] double vt0(MosType type) const noexcept {
+    return type == MosType::Nmos ? vt0_n : vt0_p;
+  }
+  /// Subthreshold I0 for the requested channel type.
+  [[nodiscard]] double i0(MosType type) const noexcept {
+    return type == MosType::Nmos ? i0_n : i0_p;
+  }
+  /// Strong-inversion transconductance for the requested channel type.
+  [[nodiscard]] double kp(MosType type) const noexcept {
+    return type == MosType::Nmos ? kp_n : kp_p;
+  }
+
+  // --- factories ----------------------------------------------------------
+  /// The 0.12 um process used for the paper's leakage validation (Figs 3, 8).
+  static Technology cmos012();
+  /// The 0.35 um process used for the self-heating measurements (Figs 9, 10).
+  static Technology cmos035();
+  /// Parametric node for the scaling study; `feature_um` in microns
+  /// (e.g. 0.8 ... 0.025). See scaling/roadmap.cpp for the scaling rules.
+  static Technology scaled_node(double feature_um);
+};
+
+}  // namespace ptherm::device

@@ -1,0 +1,33 @@
+#include "device/variation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.hpp"
+
+namespace ptherm::device {
+
+double VariationModel::sample_delta_vt0(Rng& rng) const {
+  // Box-Muller; one draw per call keeps the stream reproducible and simple.
+  const double u1 = std::max(rng.uniform(), 1e-300);
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return sigma_vt0 * z;
+}
+
+double VariationModel::leakage_multiplier(const Technology& tech, double delta_vt0,
+                                          double temp) const noexcept {
+  const double nvt = tech.n_swing * thermal_voltage(temp);
+  return std::exp(-delta_vt0 / nvt);
+}
+
+double VariationModel::sigma_log(const Technology& tech, double temp) const noexcept {
+  return sigma_vt0 / (tech.n_swing * thermal_voltage(temp));
+}
+
+double VariationModel::mean_multiplier(const Technology& tech, double temp) const noexcept {
+  const double s = sigma_log(tech, temp);
+  return std::exp(0.5 * s * s);
+}
+
+}  // namespace ptherm::device

@@ -1,0 +1,163 @@
+#include "floorplan/generators.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::floorplan {
+
+namespace {
+
+/// Fills a block with a plausible static leakage population: a mix of
+/// library cells in random static states, scaled to the block area.
+void populate_leakage(Block& block, const device::Technology& tech,
+                      const GeneratorConfig& cfg, Rng& rng) {
+  static thread_local std::shared_ptr<const netlist::CellLibrary> lib;
+  static thread_local std::string lib_tech;
+  if (!lib || lib_tech != tech.name) {
+    lib = std::make_shared<const netlist::CellLibrary>(tech);
+    lib_tech = tech.name;
+  }
+  const double area_mm2 = block.rect.area() * 1e6;  // m^2 -> mm^2
+  const double gates = cfg.gates_per_mm2 * area_mm2;
+  if (gates <= 0.0) return;
+  // Representative mix: 40% inverters, 30% nand2, 20% nor2, 10% nand3, each
+  // in a random static state shared by the whole group (adequate for block
+  // aggregates; per-gate states average out at these populations).
+  struct MixEntry {
+    const char* cell;
+    double fraction;
+  };
+  const MixEntry mix[] = {{"inv", 0.4}, {"nand2", 0.3}, {"nor2", 0.2}, {"nand3", 0.1}};
+  for (const auto& m : mix) {
+    const auto cell = lib->find(m.cell);
+    leakage::InputVector inputs(static_cast<std::size_t>(cell->input_count()));
+    for (std::size_t b = 0; b < inputs.size(); ++b) inputs[b] = rng.bernoulli();
+    block.gate_groups.push_back({cell, std::move(inputs), gates * m.fraction});
+  }
+}
+
+}  // namespace
+
+Floorplan make_uniform_grid(const device::Technology& tech, const thermal::Die& die, int nx,
+                            int ny, const GeneratorConfig& cfg, Rng& rng) {
+  PTHERM_REQUIRE(nx >= 1 && ny >= 1, "make_uniform_grid: empty grid");
+  Floorplan fp(die);
+  const double mx = die.width * cfg.margin_fraction;
+  const double my = die.height * cfg.margin_fraction;
+  const double tile_w = (die.width - 2.0 * mx) / nx;
+  const double tile_h = (die.height - 2.0 * my) / ny;
+  const double p_tile = cfg.total_dynamic_power / (nx * ny);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      Block b;
+      b.name = "tile_" + std::to_string(i) + "_" + std::to_string(j);
+      // Shrink each tile slightly so neighbours never touch (the floorplan
+      // rejects overlapping rectangles).
+      b.rect = {mx + i * tile_w + 0.02 * tile_w, my + j * tile_h + 0.02 * tile_h,
+                0.96 * tile_w, 0.96 * tile_h};
+      b.p_dynamic = p_tile;
+      populate_leakage(b, tech, cfg, rng);
+      fp.add_block(std::move(b));
+    }
+  }
+  return fp;
+}
+
+Floorplan make_hotspot_map(const device::Technology& tech, const thermal::Die& die,
+                           int hotspots, double hot_fraction, const GeneratorConfig& cfg,
+                           Rng& rng) {
+  PTHERM_REQUIRE(hotspots >= 1, "make_hotspot_map: need at least one hotspot");
+  PTHERM_REQUIRE(hot_fraction > 0.0 && hot_fraction < 1.0,
+                 "make_hotspot_map: hot_fraction in (0,1)");
+  Floorplan fp(die);
+  // Background sea: a 3x3 grid carrying the cold fraction.
+  {
+    GeneratorConfig sea_cfg = cfg;
+    sea_cfg.total_dynamic_power = cfg.total_dynamic_power * (1.0 - hot_fraction);
+    Floorplan sea = make_uniform_grid(tech, die, 3, 3, sea_cfg, rng);
+    // Re-add the sea tiles at reduced size so hotspots fit between them:
+    // instead we overlay hotspots in the tile gaps; simplest robust approach
+    // is to place hotspots in the margins of the 3x3 sea tiles.
+    for (auto& b : sea.blocks()) fp.add_block(b);
+  }
+  const double p_hot = cfg.total_dynamic_power * hot_fraction / hotspots;
+  const double hs_w = die.width * 0.04;
+  const double hs_h = die.height * 0.04;
+  int placed = 0;
+  int attempts = 0;
+  while (placed < hotspots && attempts < 10000) {
+    ++attempts;
+    Block b;
+    b.name = "hotspot_" + std::to_string(placed);
+    b.rect = {rng.uniform(0.0, die.width - hs_w), rng.uniform(0.0, die.height - hs_h), hs_w,
+              hs_h};
+    bool clear = true;
+    for (const auto& other : fp.blocks()) {
+      if (b.rect.overlaps(other.rect)) {
+        clear = false;
+        break;
+      }
+    }
+    if (!clear) continue;
+    b.p_dynamic = p_hot;
+    GeneratorConfig hot_cfg = cfg;
+    hot_cfg.gates_per_mm2 = cfg.gates_per_mm2 * 4.0;  // dense logic
+    populate_leakage(b, tech, hot_cfg, rng);
+    fp.add_block(std::move(b));
+    ++placed;
+  }
+  PTHERM_REQUIRE(placed == hotspots, "make_hotspot_map: could not place all hotspots");
+  return fp;
+}
+
+Floorplan make_checkerboard(const device::Technology& tech, const thermal::Die& die, int nx,
+                            int ny, const GeneratorConfig& cfg, Rng& rng) {
+  PTHERM_REQUIRE(nx >= 1 && ny >= 1, "make_checkerboard: empty grid");
+  Floorplan fp(die);
+  const double tile_w = die.width / nx;
+  const double tile_h = die.height / ny;
+  const int active_tiles = (nx * ny + 1) / 2;
+  const double p_tile = cfg.total_dynamic_power / active_tiles;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const bool active = ((i + j) % 2) == 0;
+      Block b;
+      b.name = std::string(active ? "active_" : "idle_") + std::to_string(i) + "_" +
+               std::to_string(j);
+      b.rect = {i * tile_w + 0.02 * tile_w, j * tile_h + 0.02 * tile_h, 0.96 * tile_w,
+                0.96 * tile_h};
+      b.p_dynamic = active ? p_tile : 0.0;
+      populate_leakage(b, tech, cfg, rng);  // idle tiles still leak
+      fp.add_block(std::move(b));
+    }
+  }
+  return fp;
+}
+
+Floorplan make_three_block_ic(const device::Technology& tech, const thermal::Die& die,
+                              double p1, double p2, double p3) {
+  Floorplan fp(die);
+  const double w = die.width;
+  const double h = die.height;
+  Rng rng(0x7ab5);  // fixed: this is the reference Fig. 6 scenario
+  GeneratorConfig cfg;
+  cfg.total_dynamic_power = p1 + p2 + p3;
+  auto add = [&](const char* name, Rect r, double p) {
+    Block b;
+    b.name = name;
+    b.rect = r;
+    b.p_dynamic = p;
+    populate_leakage(b, tech, cfg, rng);
+    fp.add_block(std::move(b));
+  };
+  // Three blocks echoing the look of the paper's Fig. 6: one large block in
+  // the lower-left quadrant, a medium one upper-centre, a small hot one to
+  // the right.
+  add("blockA", {0.10 * w, 0.10 * h, 0.35 * w, 0.30 * h}, p1);
+  add("blockB", {0.30 * w, 0.60 * h, 0.25 * w, 0.25 * h}, p2);
+  add("blockC", {0.70 * w, 0.35 * h, 0.15 * w, 0.15 * h}, p3);
+  return fp;
+}
+
+}  // namespace ptherm::floorplan

@@ -1,0 +1,37 @@
+// Synthetic floorplan/power-map generators. The paper's evaluation uses
+// in-house designs we cannot access; these generators produce power maps with
+// the same structural features (uniform logic, concentrated hot spots,
+// alternating active/idle tiles) so every chip-level code path is exercised.
+#pragma once
+
+#include "common/rng.hpp"
+#include "floorplan/floorplan.hpp"
+#include "netlist/cells.hpp"
+
+namespace ptherm::floorplan {
+
+struct GeneratorConfig {
+  double total_dynamic_power = 10.0;  ///< die-level dynamic budget [W]
+  double gates_per_mm2 = 50e3;        ///< leakage population density
+  double margin_fraction = 0.05;      ///< empty rim around the die
+};
+
+/// nx x ny uniform tile array, equal power per tile.
+Floorplan make_uniform_grid(const device::Technology& tech, const thermal::Die& die, int nx,
+                            int ny, const GeneratorConfig& cfg, Rng& rng);
+
+/// A cool background sea plus `hotspots` small, high-density blocks holding
+/// `hot_fraction` of the power budget.
+Floorplan make_hotspot_map(const device::Technology& tech, const thermal::Die& die,
+                           int hotspots, double hot_fraction, const GeneratorConfig& cfg,
+                           Rng& rng);
+
+/// Checkerboard of active/idle tiles (idle tiles leak but do not switch).
+Floorplan make_checkerboard(const device::Technology& tech, const thermal::Die& die, int nx,
+                            int ny, const GeneratorConfig& cfg, Rng& rng);
+
+/// The paper's Fig. 6 scenario: three logic blocks on a 1 mm x 1 mm die.
+Floorplan make_three_block_ic(const device::Technology& tech, const thermal::Die& die,
+                              double p1, double p2, double p3);
+
+}  // namespace ptherm::floorplan

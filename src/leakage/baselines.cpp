@@ -1,0 +1,73 @@
+#include "leakage/baselines.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace ptherm::leakage {
+
+using device::BiasPoint;
+using device::MosType;
+using device::Technology;
+
+namespace {
+/// Eq. (13)-style final evaluation shared by both baselines: a single
+/// equivalent device of width `w_eff` with VGS = 0, VDS = VDD.
+double equivalent_off_current(const Technology& tech, MosType type, double w_eff,
+                              double length, double temp) {
+  BiasPoint bias;
+  bias.vgs = 0.0;
+  bias.vds = tech.vdd;
+  bias.vsb = 0.0;
+  bias.temp = temp;
+  return device::subthreshold_current(tech, type, w_eff, length, bias);
+}
+}  // namespace
+
+double chen98_chain_off_current(const Technology& tech, MosType type,
+                                std::span<const double> widths, double length, double temp) {
+  PTHERM_REQUIRE(!widths.empty(), "chen98: empty chain");
+  PTHERM_REQUIRE(length > 0.0, "chen98: non-positive length");
+  const double nvt = tech.n_swing * thermal_voltage(temp);
+  // gamma' = 0 and hard case-(a) node voltages: the model's two documented
+  // simplifications relative to the paper's Eqs. (6)-(10).
+  const double alpha = tech.n_swing / (1.0 + 2.0 * tech.sigma_dibl);
+  const double body_exp = 1.0 + tech.sigma_dibl;
+
+  const std::size_t n = widths.size();
+  double w_eq = widths[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double f = std::log(w_eq / widths[i]) + tech.sigma_dibl * tech.vdd / nvt;
+    const double dv = std::max(0.0, alpha * thermal_voltage(temp) * f);
+    w_eq *= std::exp(-body_exp * dv / nvt);
+  }
+  return equivalent_off_current(tech, type, w_eq, length, temp);
+}
+
+double chen98_stack_off_current(const Technology& tech, MosType type, double width,
+                                double length, int n, double temp) {
+  PTHERM_REQUIRE(n >= 1, "chen98: need at least one device");
+  std::vector<double> widths(static_cast<std::size_t>(n), width);
+  return chen98_chain_off_current(tech, type, widths, length, temp);
+}
+
+double narendra04_stack_off_current(const Technology& tech, MosType type, double width,
+                                    double length, int n, double temp) {
+  PTHERM_REQUIRE(n == 1 || n == 2,
+                 "narendra04: model is defined for stacks of one or two devices only");
+  if (n == 1) return equivalent_off_current(tech, type, width, length, temp);
+  // Two-stack: intermediate node from the VDS >> VT continuity solution with
+  // body effect retained (their Eq. for V_int), then the top device's width
+  // is derated exactly as in the paper's Eq. (6).
+  const double vt = thermal_voltage(temp);
+  const double nvt = tech.n_swing * vt;
+  const double v_int =
+      (tech.sigma_dibl * tech.vdd) / (1.0 + tech.gamma_lin + 2.0 * tech.sigma_dibl);
+  const double w_eff =
+      width * std::exp(-(1.0 + tech.gamma_lin + tech.sigma_dibl) * v_int / nvt);
+  return equivalent_off_current(tech, type, w_eff, length, temp);
+}
+
+}  // namespace ptherm::leakage

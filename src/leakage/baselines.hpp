@@ -1,0 +1,36 @@
+// Reconstructions of the two prior-art stack-leakage models the paper
+// compares against (both closed-source; rebuilt from their publications):
+//
+//  [8] Z. Chen, M. Johnson, L. Wei, K. Roy, "Estimation of standby leakage
+//      power in CMOS circuits considering accurate modeling of transistor
+//      stacks", ISLPED 1998. Arbitrary stack depth; the node-voltage
+//      back-solve neglects the body effect (gamma' = 0) and uses the hard
+//      VDS >> VT closed form — the two simplifications the proposed model
+//      removes, which is exactly the gap Fig. 8 displays.
+//
+//  [9] S. Narendra et al., "Full-chip subthreshold leakage power prediction
+//      and reduction techniques for sub-0.18um CMOS", JSSC 2004. Valid only
+//      for stacks of one or two devices and assumes VDS >> VT; includes the
+//      body effect in the intermediate-node solve.
+#pragma once
+
+#include <span>
+
+#include "device/mosfet.hpp"
+
+namespace ptherm::leakage {
+
+/// Chen-98 style OFF current of a chain (widths bottom-first). Supports any
+/// depth, like the original.
+double chen98_chain_off_current(const device::Technology& tech, device::MosType type,
+                                std::span<const double> widths, double length, double temp);
+
+/// Convenience equal-width wrapper.
+double chen98_stack_off_current(const device::Technology& tech, device::MosType type,
+                                double width, double length, int n, double temp);
+
+/// Narendra-04 style OFF current; throws PreconditionError for n > 2.
+double narendra04_stack_off_current(const device::Technology& tech, device::MosType type,
+                                    double width, double length, int n, double temp);
+
+}  // namespace ptherm::leakage

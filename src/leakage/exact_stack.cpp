@@ -1,0 +1,109 @@
+#include "leakage/exact_stack.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "leakage/collapse.hpp"
+#include "numerics/roots.hpp"
+
+namespace ptherm::leakage {
+
+using device::BiasPoint;
+using device::MosType;
+using device::Technology;
+
+namespace {
+
+/// Current through device i of the chain when its source sits at v_lo and
+/// its drain at v_hi (gate grounded, bulk at vb).
+double device_current(const Technology& tech, MosType type, double width, double length,
+                      double v_lo, double v_hi, double temp, double vb) {
+  BiasPoint bias;
+  bias.vgs = -v_lo;
+  bias.vds = v_hi - v_lo;
+  bias.vsb = v_lo - vb;
+  bias.temp = temp;
+  return device::subthreshold_current(tech, type, width, length, bias);
+}
+
+}  // namespace
+
+ExactStackResult solve_exact_chain(const Technology& tech, MosType type,
+                                   std::span<const double> widths, double length, double temp,
+                                   double vb) {
+  PTHERM_REQUIRE(!widths.empty(), "solve_exact_chain: empty chain");
+  PTHERM_REQUIRE(length > 0.0, "solve_exact_chain: non-positive length");
+  const std::size_t n = widths.size();
+  ExactStackResult result;
+  int evals = 0;
+
+  if (n == 1) {
+    result.current = device_current(tech, type, widths[0], length, 0.0, tech.vdd, temp, vb);
+    result.function_evaluations = 1;
+    return result;
+  }
+
+  const double v_cap = tech.vdd + 1.0;  // internal nodes never exceed this
+
+  // Given a candidate stack current, walk up the chain solving each internal
+  // node; returns log-residual at the top device (or +/-inf style sentinels
+  // when the candidate is infeasible).
+  auto top_log_residual = [&](double log_i, std::vector<double>* nodes_out) {
+    const double target = std::exp(log_i);
+    double v_lo = 0.0;
+    std::vector<double> nodes;
+    nodes.reserve(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      auto g = [&](double v_hi) {
+        ++evals;
+        return device_current(tech, type, widths[i], length, v_lo, v_hi, temp, vb) - target;
+      };
+      // Current rises monotonically with the drain voltage from 0 at
+      // v_hi = v_lo; if even v_cap cannot carry `target`, the candidate is
+      // too large — report a strongly negative residual so the outer search
+      // (whose residual decreases with log_i) moves downward.
+      if (g(v_cap) < 0.0) return -1e3;
+      numerics::RootOptions ro;
+      ro.x_tol = 1e-14;
+      const auto root = numerics::brent(g, v_lo + 1e-15, v_cap, ro);
+      nodes.push_back(root.x);
+      v_lo = root.x;
+    }
+    ++evals;
+    const double i_top =
+        device_current(tech, type, widths[n - 1], length, v_lo, tech.vdd, temp, vb);
+    if (nodes_out) *nodes_out = std::move(nodes);
+    if (i_top <= 0.0) return -1e3;  // nodes above VDD: candidate far too large
+    return std::log(i_top) - log_i;
+  };
+
+  // Bracket the stack current around the collapse model's estimate: the
+  // compact model is accurate to a few percent, so +/- e^10 is generous.
+  const double i_model = chain_off_current(tech, type, widths, length, temp, vb);
+  PTHERM_REQUIRE(i_model > 0.0, "solve_exact_chain: model current not positive");
+  double lo = std::log(i_model) - 10.0;
+  double hi = std::log(i_model) + 10.0;
+  auto residual = [&](double log_i) { return top_log_residual(log_i, nullptr); };
+  if (!numerics::expand_bracket(residual, lo, hi)) {
+    throw ConvergenceError("solve_exact_chain: could not bracket the stack current");
+  }
+  numerics::RootOptions ro;
+  ro.x_tol = 1e-13;
+  const auto root = numerics::brent(residual, lo, hi, ro);
+  if (!root.converged) {
+    throw ConvergenceError("solve_exact_chain: Brent failed on the outer current search");
+  }
+  result.current = std::exp(root.x);
+  top_log_residual(root.x, &result.node_voltages);
+  result.function_evaluations = evals;
+  return result;
+}
+
+double exact_two_stack_delta_v(const Technology& tech, MosType type, double w_bottom,
+                               double w_top, double length, double temp) {
+  const double widths[2] = {w_bottom, w_top};
+  const auto solved = solve_exact_chain(tech, type, widths, length, temp, 0.0);
+  return solved.node_voltages.at(0);
+}
+
+}  // namespace ptherm::leakage

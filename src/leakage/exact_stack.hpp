@@ -1,0 +1,34 @@
+// "Exact" numerical solution of an OFF transistor chain: current continuity
+// through Eq. (1)/(2) is enforced to machine precision, with no collapse
+// approximation. This plays the role of the paper's SPICE baseline for
+// Figs. 3 and 8 (the full MNA solver in src/spice cross-checks it in tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "device/mosfet.hpp"
+
+namespace ptherm::leakage {
+
+struct ExactStackResult {
+  double current = 0.0;              ///< stack OFF current [A]
+  std::vector<double> node_voltages; ///< V_1..V_{N-1}, bottom first [V]
+  int function_evaluations = 0;
+};
+
+/// Solves the chain (widths bottom-first, shared length, gates grounded,
+/// bottom source at 0, top drain at VDD, substrate at `vb`). Nested
+/// bracketing: an outer Brent search on log-current with inner Brent solves
+/// for each internal node. Unconditionally convergent for this monotone
+/// system; throws ConvergenceError only if bracketing fails.
+ExactStackResult solve_exact_chain(const device::Technology& tech, device::MosType type,
+                                   std::span<const double> widths, double length, double temp,
+                                   double vb = 0.0);
+
+/// Exact intermediate-node voltage V_1 of a two-transistor stack — the
+/// reference curve of Fig. 3. `w_bottom`/`w_top` in metres.
+double exact_two_stack_delta_v(const device::Technology& tech, device::MosType type,
+                               double w_bottom, double w_top, double length, double temp);
+
+}  // namespace ptherm::leakage

@@ -1,0 +1,72 @@
+// Gate-level static power: combines the pull-up and pull-down series-parallel
+// networks into the paper's per-input-vector OFF current (Eq. 13 applied to
+// the collapsed OFF network) and aggregates over vectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "leakage/spnet.hpp"
+
+namespace ptherm::leakage {
+
+/// A static CMOS gate: complementary pull-up (pMOS, to VDD) and pull-down
+/// (nMOS, to ground) networks sharing the same logical inputs.
+struct GateTopology {
+  std::string name;
+  SpNetwork pull_up;
+  SpNetwork pull_down;
+  double length = 0.0;  ///< shared channel length [m]
+
+  [[nodiscard]] int input_count() const {
+    return std::max(pull_up.input_count(), pull_down.input_count());
+  }
+  [[nodiscard]] int device_count() const {
+    return pull_up.device_count() + pull_down.device_count();
+  }
+};
+
+/// Per-vector static analysis of one gate.
+struct GateStaticResult {
+  bool output_high = false;    ///< pull-up ON (true) or pull-down ON (false)
+  double i_off = 0.0;          ///< supply-to-ground subthreshold current [A]
+  double p_static = 0.0;       ///< i_off * VDD [W]
+  double w_eff = 0.0;          ///< effective width of the blocking network [m]
+  bool weak_level = false;     ///< blocking network sees a degraded level
+  double vds_eff = 0.0;        ///< drain-source drop across the blocker [V]
+};
+
+/// Evaluation options. The paper's model treats ON transistors as ideal
+/// internal shorts; `weak_level_correction` extends it: when ON pass devices
+/// separate the blocking element from the driven output, they can only pass
+/// the level minus a threshold, so the blocker sees less DIBL. The corrected
+/// drain level comes from a two-step closed-form continuity balance between
+/// the pass device (in weak inversion at the handover point) and the leaking
+/// network — no iteration loops, in keeping with the paper's philosophy.
+struct GateEvalOptions {
+  bool weak_level_correction = false;
+};
+
+/// Evaluates the gate's static state for `inputs` at temperature `temp` and
+/// substrate bias `vb`. Exactly one of the two networks must be ON (static
+/// complementary CMOS); contention or a floating output throws.
+GateStaticResult gate_static(const device::Technology& tech, const GateTopology& gate,
+                             const InputVector& inputs, double temp, double vb = 0.0,
+                             const GateEvalOptions& opts = {});
+
+/// Statistics of a gate over all 2^k input vectors (k = input_count).
+struct GateLeakageSummary {
+  double mean_i_off = 0.0;
+  double min_i_off = 0.0;
+  double max_i_off = 0.0;
+  InputVector min_vector;
+  InputVector max_vector;
+};
+GateLeakageSummary gate_leakage_summary(const device::Technology& tech,
+                                        const GateTopology& gate, double temp,
+                                        double vb = 0.0);
+
+/// Enumerates the `index`-th input vector of width `bits` (bit 0 = input 0).
+[[nodiscard]] InputVector vector_from_index(unsigned index, int bits);
+
+}  // namespace ptherm::leakage

@@ -1,0 +1,193 @@
+#include "leakage/spnet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "leakage/collapse.hpp"
+
+namespace ptherm::leakage {
+
+using device::MosType;
+using device::Technology;
+
+SpNetwork SpNetwork::device(int input_index, double width) {
+  PTHERM_REQUIRE(input_index >= 0, "device: negative input index");
+  PTHERM_REQUIRE(width > 0.0, "device: non-positive width");
+  SpNetwork n;
+  n.kind_ = Kind::Device;
+  n.input_ = input_index;
+  n.width_ = width;
+  return n;
+}
+
+SpNetwork SpNetwork::series(std::vector<SpNetwork> children) {
+  PTHERM_REQUIRE(!children.empty(), "series: no children");
+  SpNetwork n;
+  n.kind_ = Kind::Series;
+  // Flatten series-of-series (exact by associativity): the chain collapse is
+  // most accurate on the longest flat chain it can see, because the inner
+  // collapse would otherwise assume the full supply across a sub-chain that
+  // only drops part of it.
+  n.children_.reserve(children.size());
+  for (auto& c : children) {
+    if (c.kind_ == Kind::Series) {
+      for (auto& gc : c.children_) n.children_.push_back(std::move(gc));
+    } else {
+      n.children_.push_back(std::move(c));
+    }
+  }
+  if (n.children_.size() == 1) return std::move(n.children_.front());
+  return n;
+}
+
+SpNetwork SpNetwork::parallel(std::vector<SpNetwork> children) {
+  PTHERM_REQUIRE(!children.empty(), "parallel: no children");
+  SpNetwork n;
+  n.kind_ = Kind::Parallel;
+  n.children_.reserve(children.size());
+  for (auto& c : children) {
+    if (c.kind_ == Kind::Parallel) {  // flatten, exact by associativity
+      for (auto& gc : c.children_) n.children_.push_back(std::move(gc));
+    } else {
+      n.children_.push_back(std::move(c));
+    }
+  }
+  if (n.children_.size() == 1) return std::move(n.children_.front());
+  return n;
+}
+
+int SpNetwork::input_count() const {
+  if (kind_ == Kind::Device) return input_ + 1;
+  int count = 0;
+  for (const auto& c : children_) count = std::max(count, c.input_count());
+  return count;
+}
+
+int SpNetwork::device_count() const {
+  if (kind_ == Kind::Device) return 1;
+  int count = 0;
+  for (const auto& c : children_) count += c.device_count();
+  return count;
+}
+
+bool SpNetwork::is_on(MosType type, const InputVector& inputs) const {
+  PTHERM_REQUIRE(!empty(), "is_on: empty network");
+  switch (kind_) {
+    case Kind::Device: {
+      PTHERM_REQUIRE(static_cast<std::size_t>(input_) < inputs.size(),
+                     "is_on: input vector too short");
+      const bool level = inputs[input_];
+      return type == MosType::Nmos ? level : !level;
+    }
+    case Kind::Series:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const SpNetwork& c) { return c.is_on(type, inputs); });
+    case Kind::Parallel:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const SpNetwork& c) { return c.is_on(type, inputs); });
+  }
+  return false;  // unreachable
+}
+
+std::optional<double> SpNetwork::effective_width(const Technology& tech, MosType type,
+                                                 const InputVector& inputs,
+                                                 double temp) const {
+  const auto r = off_reduction(tech, type, inputs, temp);
+  if (!r) return std::nullopt;
+  return r->w_eff;
+}
+
+double SpNetwork::on_width(MosType type, const InputVector& inputs) const {
+  PTHERM_REQUIRE(!empty(), "on_width: empty network");
+  PTHERM_REQUIRE(is_on(type, inputs), "on_width: network is not conducting");
+  switch (kind_) {
+    case Kind::Device:
+      return width_;
+    case Kind::Series: {
+      double weakest = std::numeric_limits<double>::infinity();
+      for (const auto& c : children_) {
+        weakest = std::min(weakest, c.on_width(type, inputs));
+      }
+      return weakest;
+    }
+    case Kind::Parallel: {
+      double sum = 0.0;
+      for (const auto& c : children_) {
+        if (c.is_on(type, inputs)) sum += c.on_width(type, inputs);
+      }
+      return sum;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+std::optional<SpNetwork::OffReduction> SpNetwork::off_reduction(const Technology& tech,
+                                                                MosType type,
+                                                                const InputVector& inputs,
+                                                                double temp) const {
+  PTHERM_REQUIRE(!empty(), "off_reduction: empty network");
+  switch (kind_) {
+    case Kind::Device:
+      if (is_on(type, inputs)) return std::nullopt;
+      return OffReduction{width_, false, 0.0};
+
+    case Kind::Parallel: {
+      // Rule: an OFF chain in parallel with an ON chain is discarded; the
+      // parallel block as a whole is then ON. Otherwise widths add. The
+      // block's drain is degraded only if every branch's is (a single
+      // undegraded branch dominates the leakage path).
+      double sum = 0.0;
+      bool all_degraded = true;
+      double pass = std::numeric_limits<double>::infinity();
+      for (const auto& c : children_) {
+        const auto r = c.off_reduction(tech, type, inputs, temp);
+        if (!r) return std::nullopt;  // some branch is ON
+        sum += r->w_eff;
+        if (r->degraded_drain) pass = std::min(pass, r->pass_width);
+        else all_degraded = false;
+      }
+      if (all_degraded && !children_.empty()) return OffReduction{sum, true, pass};
+      return OffReduction{sum, false, 0.0};
+    }
+
+    case Kind::Series: {
+      // ON children are internal shorts (part of the internal nodes, §2.2);
+      // the remaining OFF blocks form a chain, collapsed rail-side first.
+      // ON children *above* the topmost OFF block form a pass segment that
+      // degrades the drain level the chain sees.
+      std::vector<double> widths;
+      widths.reserve(children_.size());
+      bool degraded = false;                 // of the topmost OFF block itself
+      double inner_pass = std::numeric_limits<double>::infinity();
+      double pass_above = std::numeric_limits<double>::infinity();
+      bool any_on_above = false;
+      for (const auto& c : children_) {      // rail-side first
+        const auto r = c.off_reduction(tech, type, inputs, temp);
+        if (r) {
+          widths.push_back(r->w_eff);
+          degraded = r->degraded_drain;      // matters only for the last OFF
+          inner_pass = r->degraded_drain ? r->pass_width
+                                         : std::numeric_limits<double>::infinity();
+          any_on_above = false;              // reset: ON children so far are internal
+          pass_above = std::numeric_limits<double>::infinity();
+        } else {
+          any_on_above = true;
+          pass_above = std::min(pass_above, c.on_width(type, inputs));
+        }
+      }
+      if (widths.empty()) return std::nullopt;  // every child ON -> short
+      const double w_eff = (widths.size() == 1)
+                               ? widths[0]
+                               : collapse_chain(tech, type, widths, temp).w_eff;
+      const bool out_degraded = degraded || any_on_above;
+      double pass = std::numeric_limits<double>::infinity();
+      if (degraded) pass = std::min(pass, inner_pass);
+      if (any_on_above) pass = std::min(pass, pass_above);
+      return OffReduction{w_eff, out_degraded, out_degraded ? pass : 0.0};
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace ptherm::leakage

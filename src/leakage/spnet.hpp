@@ -1,0 +1,98 @@
+// Series-parallel transistor networks — the topology layer the paper's §2.1
+// gate rules operate on:
+//   * an OFF chain in parallel with an ON chain is discarded,
+//   * parallel OFF chains collapse to the sum of their effective widths,
+//   * series OFF devices collapse via the chain-collapse technique, with ON
+//     devices treated as internal shorts.
+// Every standard CMOS cell (NAND/NOR/AOI/OAI/...) is a series-parallel
+// composition, so this covers the full library for every input vector.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.hpp"
+
+namespace ptherm::leakage {
+
+/// Input vector as bits; inputs.size() == number of gate inputs.
+using InputVector = std::vector<bool>;
+
+/// A series-parallel network between a supply rail and the gate output.
+/// Series composition is ordered rail-side first.
+class SpNetwork {
+ public:
+  /// Default-constructed networks are empty placeholders (GateTopology
+  /// members before assembly); any evaluation on them throws.
+  SpNetwork() = default;
+
+  /// True until the network is assigned from one of the factories.
+  [[nodiscard]] bool empty() const noexcept {
+    return kind_ != Kind::Device && children_.empty();
+  }
+
+  /// Single transistor controlled by input `input_index`; width in metres.
+  static SpNetwork device(int input_index, double width);
+  /// Series composition, rail-side child first.
+  static SpNetwork series(std::vector<SpNetwork> children);
+  /// Parallel composition.
+  static SpNetwork parallel(std::vector<SpNetwork> children);
+
+  enum class Kind : std::uint8_t { Device, Series, Parallel };
+  // (A default-constructed network reports Kind::Series with no children and
+  // empty() == true; the factories never produce that state.)
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] int input_index() const noexcept { return input_; }
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] const std::vector<SpNetwork>& children() const noexcept { return children_; }
+
+  /// Largest input index referenced, plus one (0 for an empty network).
+  [[nodiscard]] int input_count() const;
+
+  /// Total transistor count.
+  [[nodiscard]] int device_count() const;
+
+  /// True when a fully-ON path connects the two terminals for this vector.
+  /// `type` sets the polarity: nMOS conducts on 1, pMOS conducts on 0.
+  [[nodiscard]] bool is_on(device::MosType type, const InputVector& inputs) const;
+
+  /// Effective width of the network when it is OFF for this vector:
+  /// the recursive application of the paper's collapse rules. Returns
+  /// nullopt when the network is ON (no meaningful OFF width).
+  [[nodiscard]] std::optional<double> effective_width(const device::Technology& tech,
+                                                      device::MosType type,
+                                                      const InputVector& inputs,
+                                                      double temp) const;
+
+  /// Full OFF-state reduction. Besides the collapsed width it reports
+  /// whether ON devices sit between the blocking (topmost OFF) element and
+  /// the output: such pass devices can only hand the output level on minus a
+  /// threshold, which reduces the DIBL seen by the OFF element — the
+  /// weak-level effect the paper's "internal short" assumption ignores (and
+  /// that gate_static can optionally correct for).
+  struct OffReduction {
+    double w_eff = 0.0;
+    bool degraded_drain = false;
+    /// Effective width of the weakest ON pass segment above the blocking
+    /// element; meaningful only when degraded_drain is true.
+    double pass_width = 0.0;
+  };
+  [[nodiscard]] std::optional<OffReduction> off_reduction(const device::Technology& tech,
+                                                          device::MosType type,
+                                                          const InputVector& inputs,
+                                                          double temp) const;
+
+  /// Conducting width of an ON network (devices: W; series: weakest link;
+  /// parallel: sum over conducting branches). Precondition: is_on().
+  [[nodiscard]] double on_width(device::MosType type, const InputVector& inputs) const;
+
+ private:
+  Kind kind_ = Kind::Series;
+  int input_ = 0;
+  double width_ = 0.0;
+  std::vector<SpNetwork> children_;
+};
+
+}  // namespace ptherm::leakage

@@ -1,0 +1,163 @@
+#include "netlist/cells.hpp"
+
+#include "common/error.hpp"
+
+namespace ptherm::netlist {
+
+using leakage::GateTopology;
+using leakage::SpNetwork;
+
+CellSizing CellSizing::for_tech(const device::Technology& tech) {
+  CellSizing s;
+  s.wn_unit = 2.0 * tech.w_min;
+  // Balanced drive: wp/wn = kp_n / kp_p.
+  s.wp_unit = s.wn_unit * (tech.kp_n / tech.kp_p);
+  s.length = tech.l_drawn;
+  return s;
+}
+
+GateTopology make_inverter(const CellSizing& s) {
+  GateTopology g;
+  g.name = "inv";
+  g.pull_down = SpNetwork::device(0, s.wn_unit);
+  g.pull_up = SpNetwork::device(0, s.wp_unit);
+  g.length = s.length;
+  return g;
+}
+
+GateTopology make_nand(int inputs, const CellSizing& s) {
+  PTHERM_REQUIRE(inputs >= 2 && inputs <= 8, "make_nand: 2..8 inputs");
+  GateTopology g;
+  g.name = "nand" + std::to_string(inputs);
+  std::vector<SpNetwork> series_n;
+  std::vector<SpNetwork> par_p;
+  for (int i = 0; i < inputs; ++i) {
+    // Series nMOS upsized by the stack depth; ordering: input 0 nearest GND.
+    series_n.push_back(SpNetwork::device(i, s.wn_unit * inputs));
+    par_p.push_back(SpNetwork::device(i, s.wp_unit));
+  }
+  g.pull_down = SpNetwork::series(std::move(series_n));
+  g.pull_up = SpNetwork::parallel(std::move(par_p));
+  g.length = s.length;
+  return g;
+}
+
+GateTopology make_nor(int inputs, const CellSizing& s) {
+  PTHERM_REQUIRE(inputs >= 2 && inputs <= 8, "make_nor: 2..8 inputs");
+  GateTopology g;
+  g.name = "nor" + std::to_string(inputs);
+  std::vector<SpNetwork> par_n;
+  std::vector<SpNetwork> series_p;
+  for (int i = 0; i < inputs; ++i) {
+    par_n.push_back(SpNetwork::device(i, s.wn_unit));
+    // Series pMOS upsized; ordering: last input nearest VDD (rail-side first
+    // in the series vector, so reverse index order puts input 0 at the
+    // output end — the usual layout choice; leakage is order-aware).
+    series_p.push_back(SpNetwork::device(inputs - 1 - i, s.wp_unit * inputs));
+  }
+  g.pull_down = SpNetwork::parallel(std::move(par_n));
+  g.pull_up = SpNetwork::series(std::move(series_p));
+  g.length = s.length;
+  return g;
+}
+
+GateTopology make_aoi21(const CellSizing& s) {
+  GateTopology g;
+  g.name = "aoi21";
+  // Pull-down: (a AND b) OR c  ->  series(a,b) parallel c.
+  g.pull_down = SpNetwork::parallel({
+      SpNetwork::series({SpNetwork::device(0, 2.0 * s.wn_unit),
+                         SpNetwork::device(1, 2.0 * s.wn_unit)}),
+      SpNetwork::device(2, s.wn_unit),
+  });
+  // Pull-up (dual): (a OR b) AND c -> series(parallel(a,b), c); c nearest
+  // the output, rail-side first means parallel block first.
+  g.pull_up = SpNetwork::series({
+      SpNetwork::parallel({SpNetwork::device(0, 2.0 * s.wp_unit),
+                           SpNetwork::device(1, 2.0 * s.wp_unit)}),
+      SpNetwork::device(2, 2.0 * s.wp_unit),
+  });
+  g.length = s.length;
+  return g;
+}
+
+GateTopology make_aoi22(const CellSizing& s) {
+  GateTopology g;
+  g.name = "aoi22";
+  g.pull_down = SpNetwork::parallel({
+      SpNetwork::series({SpNetwork::device(0, 2.0 * s.wn_unit),
+                         SpNetwork::device(1, 2.0 * s.wn_unit)}),
+      SpNetwork::series({SpNetwork::device(2, 2.0 * s.wn_unit),
+                         SpNetwork::device(3, 2.0 * s.wn_unit)}),
+  });
+  g.pull_up = SpNetwork::series({
+      SpNetwork::parallel({SpNetwork::device(0, 2.0 * s.wp_unit),
+                           SpNetwork::device(1, 2.0 * s.wp_unit)}),
+      SpNetwork::parallel({SpNetwork::device(2, 2.0 * s.wp_unit),
+                           SpNetwork::device(3, 2.0 * s.wp_unit)}),
+  });
+  g.length = s.length;
+  return g;
+}
+
+GateTopology make_oai21(const CellSizing& s) {
+  GateTopology g;
+  g.name = "oai21";
+  // Pull-down: (a OR b) AND c.
+  g.pull_down = SpNetwork::series({
+      SpNetwork::parallel({SpNetwork::device(0, 2.0 * s.wn_unit),
+                           SpNetwork::device(1, 2.0 * s.wn_unit)}),
+      SpNetwork::device(2, 2.0 * s.wn_unit),
+  });
+  // Pull-up (dual): (a AND b) OR c.
+  g.pull_up = SpNetwork::parallel({
+      SpNetwork::series({SpNetwork::device(0, 2.0 * s.wp_unit),
+                         SpNetwork::device(1, 2.0 * s.wp_unit)}),
+      SpNetwork::device(2, s.wp_unit),
+  });
+  g.length = s.length;
+  return g;
+}
+
+GateTopology make_oai22(const CellSizing& s) {
+  GateTopology g;
+  g.name = "oai22";
+  g.pull_down = SpNetwork::series({
+      SpNetwork::parallel({SpNetwork::device(0, 2.0 * s.wn_unit),
+                           SpNetwork::device(1, 2.0 * s.wn_unit)}),
+      SpNetwork::parallel({SpNetwork::device(2, 2.0 * s.wn_unit),
+                           SpNetwork::device(3, 2.0 * s.wn_unit)}),
+  });
+  g.pull_up = SpNetwork::parallel({
+      SpNetwork::series({SpNetwork::device(0, 2.0 * s.wp_unit),
+                         SpNetwork::device(1, 2.0 * s.wp_unit)}),
+      SpNetwork::series({SpNetwork::device(2, 2.0 * s.wp_unit),
+                         SpNetwork::device(3, 2.0 * s.wp_unit)}),
+  });
+  g.length = s.length;
+  return g;
+}
+
+CellLibrary::CellLibrary(const device::Technology& tech)
+    : sizing_(CellSizing::for_tech(tech)) {
+  auto add = [&](leakage::GateTopology g) {
+    names_.push_back(g.name);
+    cells_.push_back(std::make_shared<const GateTopology>(std::move(g)));
+  };
+  add(make_inverter(sizing_));
+  for (int n = 2; n <= 4; ++n) add(make_nand(n, sizing_));
+  for (int n = 2; n <= 4; ++n) add(make_nor(n, sizing_));
+  add(make_aoi21(sizing_));
+  add(make_aoi22(sizing_));
+  add(make_oai21(sizing_));
+  add(make_oai22(sizing_));
+}
+
+std::shared_ptr<const GateTopology> CellLibrary::find(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return cells_[i];
+  }
+  throw PreconditionError("CellLibrary: unknown cell: " + name);
+}
+
+}  // namespace ptherm::netlist

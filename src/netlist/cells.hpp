@@ -1,0 +1,54 @@
+// Standard-cell topologies as series-parallel networks. Sizing follows the
+// usual equal-drive rule: devices in a series stack are upsized by the stack
+// depth so the worst-case pull matches the reference inverter.
+#pragma once
+
+#include <memory>
+
+#include "device/tech.hpp"
+#include "leakage/gate.hpp"
+
+namespace ptherm::netlist {
+
+/// Reference inverter sizing for a technology: wn = 2 * w_min,
+/// wp = beta * wn with beta from the kp ratio (balanced rise/fall).
+struct CellSizing {
+  double wn_unit = 0.0;  ///< unit nMOS width [m]
+  double wp_unit = 0.0;  ///< unit pMOS width [m]
+  double length = 0.0;   ///< channel length [m]
+
+  static CellSizing for_tech(const device::Technology& tech);
+};
+
+/// Builders return complete complementary gates. Input indices are 0-based
+/// and consistent between the two networks.
+[[nodiscard]] leakage::GateTopology make_inverter(const CellSizing& s);
+[[nodiscard]] leakage::GateTopology make_nand(int inputs, const CellSizing& s);
+[[nodiscard]] leakage::GateTopology make_nor(int inputs, const CellSizing& s);
+/// AOI21: out = !(a*b + c) — inputs {0,1} AND-ed, input 2 parallel.
+[[nodiscard]] leakage::GateTopology make_aoi21(const CellSizing& s);
+/// AOI22: out = !(a*b + c*d).
+[[nodiscard]] leakage::GateTopology make_aoi22(const CellSizing& s);
+/// OAI21: out = !((a+b) * c).
+[[nodiscard]] leakage::GateTopology make_oai21(const CellSizing& s);
+/// OAI22: out = !((a+b) * (c+d)).
+[[nodiscard]] leakage::GateTopology make_oai22(const CellSizing& s);
+
+/// The whole library keyed by conventional names (inv, nand2..nand4,
+/// nor2..nor4, aoi21, aoi22, oai21, oai22).
+class CellLibrary {
+ public:
+  explicit CellLibrary(const device::Technology& tech);
+
+  [[nodiscard]] std::shared_ptr<const leakage::GateTopology> find(
+      const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept { return names_; }
+  [[nodiscard]] const CellSizing& sizing() const noexcept { return sizing_; }
+
+ private:
+  CellSizing sizing_;
+  std::vector<std::string> names_;
+  std::vector<std::shared_ptr<const leakage::GateTopology>> cells_;
+};
+
+}  // namespace ptherm::netlist

@@ -1,0 +1,131 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::netlist {
+
+void Netlist::add_instance(std::string name,
+                           std::shared_ptr<const leakage::GateTopology> cell,
+                           leakage::InputVector inputs) {
+  PTHERM_REQUIRE(cell != nullptr, "add_instance: null cell");
+  PTHERM_REQUIRE(static_cast<int>(inputs.size()) >= cell->input_count(),
+                 "add_instance: input vector too short for " + name);
+  instances_.push_back({std::move(name), std::move(cell), std::move(inputs)});
+}
+
+int Netlist::transistor_count() const {
+  int count = 0;
+  for (const auto& inst : instances_) count += inst.cell->device_count();
+  return count;
+}
+
+double Netlist::total_off_current(const device::Technology& tech, double temp,
+                                  double vb) const {
+  double sum = 0.0;
+  for (const auto& inst : instances_) {
+    sum += leakage::gate_static(tech, *inst.cell, inst.inputs, temp, vb).i_off;
+  }
+  return sum;
+}
+
+double Netlist::total_static_power(const device::Technology& tech, double temp,
+                                   double vb) const {
+  return total_off_current(tech, temp, vb) * tech.vdd;
+}
+
+void Netlist::randomize_states(Rng& rng) {
+  for (auto& inst : instances_) {
+    for (std::size_t b = 0; b < inst.inputs.size(); ++b) inst.inputs[b] = rng.bernoulli();
+  }
+}
+
+Netlist::LeakageStats Netlist::monte_carlo_leakage(const device::Technology& tech, double temp,
+                                                   int samples, Rng& rng, double vb) const {
+  PTHERM_REQUIRE(samples >= 1, "monte_carlo_leakage: need at least one sample");
+  Netlist scratch = *this;  // instance states are mutated per sample
+  LeakageStats stats;
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    scratch.randomize_states(rng);
+    const double i = scratch.total_off_current(tech, temp, vb);
+    sum += i;
+    sum_sq += i * i;
+    stats.min = std::min(stats.min, i);
+    stats.max = std::max(stats.max, i);
+  }
+  stats.mean = sum / samples;
+  const double var = std::max(0.0, sum_sq / samples - stats.mean * stats.mean);
+  stats.stddev = std::sqrt(var);
+  return stats;
+}
+
+void Netlist::set_instance_inputs(std::size_t i, leakage::InputVector inputs) {
+  PTHERM_REQUIRE(i < instances_.size(), "set_instance_inputs: index out of range");
+  PTHERM_REQUIRE(static_cast<int>(inputs.size()) >= instances_[i].cell->input_count(),
+                 "set_instance_inputs: input vector too short");
+  instances_[i].inputs = std::move(inputs);
+}
+
+double optimize_standby_vectors(Netlist& netlist, const device::Technology& tech,
+                                double temp, double vb) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < netlist.size(); ++i) {
+    const auto& inst = netlist.instances()[i];
+    const auto summary = leakage::gate_leakage_summary(tech, *inst.cell, temp, vb);
+    netlist.set_instance_inputs(i, summary.min_vector);
+    total += summary.min_i_off;
+  }
+  return total;
+}
+
+VariationStats variation_leakage(const Netlist& netlist, const device::Technology& tech,
+                                 const device::VariationModel& var, double temp,
+                                 int samples, Rng& rng, double vb) {
+  PTHERM_REQUIRE(samples >= 1, "variation_leakage: need at least one sample");
+  VariationStats stats;
+  // Per-instance nominal currents are sampled-state invariant: compute once.
+  std::vector<double> nominal;
+  nominal.reserve(netlist.size());
+  for (const auto& inst : netlist.instances()) {
+    nominal.push_back(leakage::gate_static(tech, *inst.cell, inst.inputs, temp, vb).i_off);
+    stats.nominal += nominal.back();
+  }
+  std::vector<double> totals;
+  totals.reserve(samples);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    double total = 0.0;
+    for (double i_nom : nominal) {
+      total += i_nom * var.leakage_multiplier(tech, var.sample_delta_vt0(rng), temp);
+    }
+    totals.push_back(total);
+    sum += total;
+    sum_sq += total * total;
+  }
+  stats.mean = sum / samples;
+  stats.stddev = std::sqrt(std::max(0.0, sum_sq / samples - stats.mean * stats.mean));
+  std::sort(totals.begin(), totals.end());
+  stats.p95 = totals[static_cast<std::size_t>(0.95 * (samples - 1))];
+  return stats;
+}
+
+Netlist make_random_netlist(const CellLibrary& lib, int instances, Rng& rng) {
+  PTHERM_REQUIRE(instances >= 0, "make_random_netlist: negative count");
+  Netlist nl;
+  const auto& names = lib.names();
+  for (int i = 0; i < instances; ++i) {
+    const auto cell = lib.find(names[rng.uniform_index(names.size())]);
+    leakage::InputVector inputs(static_cast<std::size_t>(cell->input_count()));
+    for (std::size_t b = 0; b < inputs.size(); ++b) inputs[b] = rng.bernoulli();
+    nl.add_instance("u" + std::to_string(i), cell, std::move(inputs));
+  }
+  return nl;
+}
+
+}  // namespace ptherm::netlist

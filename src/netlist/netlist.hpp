@@ -1,0 +1,84 @@
+// Gate-level netlist: instances of library cells with static input states,
+// plus circuit-level leakage statistics (per-vector, Monte-Carlo over random
+// states, min/max vectors) — the "hundreds of millions of transistors"
+// use-case of the paper's introduction, at library scale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/variation.hpp"
+#include "netlist/cells.hpp"
+
+namespace ptherm::netlist {
+
+struct Instance {
+  std::string name;
+  std::shared_ptr<const leakage::GateTopology> cell;
+  leakage::InputVector inputs;  ///< current static state
+};
+
+class Netlist {
+ public:
+  void add_instance(std::string name, std::shared_ptr<const leakage::GateTopology> cell,
+                    leakage::InputVector inputs);
+
+  [[nodiscard]] const std::vector<Instance>& instances() const noexcept { return instances_; }
+  [[nodiscard]] std::size_t size() const noexcept { return instances_.size(); }
+  [[nodiscard]] int transistor_count() const;
+
+  /// Total OFF current with the instances' current input states [A].
+  [[nodiscard]] double total_off_current(const device::Technology& tech, double temp,
+                                         double vb = 0.0) const;
+  /// total_off_current * VDD [W].
+  [[nodiscard]] double total_static_power(const device::Technology& tech, double temp,
+                                          double vb = 0.0) const;
+
+  /// Randomizes every instance's input state.
+  void randomize_states(Rng& rng);
+
+  /// Monte-Carlo leakage statistics over `samples` random state assignments.
+  struct LeakageStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] LeakageStats monte_carlo_leakage(const device::Technology& tech, double temp,
+                                                 int samples, Rng& rng, double vb = 0.0) const;
+
+  /// Replaces the static input state of instance `i`.
+  void set_instance_inputs(std::size_t i, leakage::InputVector inputs);
+
+ private:
+  std::vector<Instance> instances_;
+};
+
+/// Builds a random netlist drawing uniformly from the library cells, with
+/// random (valid) static input states. Used by synthetic workloads.
+[[nodiscard]] Netlist make_random_netlist(const CellLibrary& lib, int instances, Rng& rng);
+
+/// Standby-vector optimization (the application behind baseline [8]): sets
+/// every instance to its minimum-leakage input state at `temp` — exact when
+/// the standby vector of each gate can be forced independently (sleep
+/// vectors at latch boundaries). Returns the achieved total OFF current.
+double optimize_standby_vectors(Netlist& netlist, const device::Technology& tech,
+                                double temp, double vb = 0.0);
+
+/// Variation-aware leakage: Monte Carlo over per-gate Gaussian VT0 offsets
+/// with fixed input states. Returns sample statistics of the total OFF
+/// current; the mean exceeds the nominal by ~exp(s^2/2) (lognormal penalty,
+/// see device::VariationModel).
+struct VariationStats {
+  double nominal = 0.0;  ///< total at zero variation [A]
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p95 = 0.0;      ///< 95th percentile of the samples [A]
+};
+VariationStats variation_leakage(const Netlist& netlist, const device::Technology& tech,
+                                 const device::VariationModel& var, double temp,
+                                 int samples, Rng& rng, double vb = 0.0);
+
+}  // namespace ptherm::netlist

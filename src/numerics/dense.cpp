@@ -1,0 +1,86 @@
+#include "numerics/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  PTHERM_REQUIRE(x.size() == cols_, "matrix-vector size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  PTHERM_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  pivots_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw Error("LU factorization: matrix is singular or non-finite");
+    }
+    pivots_[k] = p;
+    if (p != k) {
+      pivot_sign_ = -pivot_sign_;
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+    }
+    const double diag = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / diag;
+      lu_(r, k) = factor;
+      if (factor != 0.0) {
+        for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  PTHERM_REQUIRE(b.size() == n, "rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots_[k] != k) std::swap(x[k], x[pivots_[k]]);
+    for (std::size_t r = k + 1; r < n; ++r) x[r] -= lu_(r, k) * x[k];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t c = k + 1; c < n; ++c) x[k] -= lu_(k, c) * x[c];
+    x[k] /= lu_(k, k);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t k = 0; k < lu_.rows(); ++k) det *= lu_(k, k);
+  return det;
+}
+
+std::vector<double> solve_dense(Matrix a, std::span<const double> b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,64 @@
+// Dense linear algebra: a small row-major matrix plus LU factorization with
+// partial pivoting. Sized for circuit Jacobians (tens to a few hundred
+// unknowns) — the FDM thermal solver uses the sparse path instead.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptherm::numerics {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  void set_zero();
+
+  /// y = A*x (sizes must agree).
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Throws ptherm::Error if the matrix is numerically singular.
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  /// Solves A x = b. b.size() must equal the matrix dimension.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Determinant (sign from the permutation times the diagonal product).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  int pivot_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+[[nodiscard]] std::vector<double> solve_dense(Matrix a, std::span<const double> b);
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,86 @@
+#include "numerics/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+namespace {
+void check_grid(const std::vector<double>& xs, const std::vector<double>& ys) {
+  PTHERM_REQUIRE(xs.size() == ys.size(), "interp: x/y size mismatch");
+  PTHERM_REQUIRE(xs.size() >= 2, "interp: need at least two points");
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    PTHERM_REQUIRE(xs[i] > xs[i - 1], "interp: abscissae must be strictly increasing");
+  }
+}
+
+std::size_t find_interval(const std::vector<double>& xs, double x) {
+  // Index i such that xs[i] <= x < xs[i+1], clamped to valid segments.
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  if (it == xs.begin()) return 0;
+  std::size_t i = static_cast<std::size_t>(it - xs.begin()) - 1;
+  return std::min(i, xs.size() - 2);
+}
+}  // namespace
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  check_grid(xs_, ys_);
+}
+
+double LinearInterpolator::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = find_interval(xs_, x);
+  const double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+  return ys_[i] + t * (ys_[i + 1] - ys_[i]);
+}
+
+PchipInterpolator::PchipInterpolator(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  check_grid(xs_, ys_);
+  const std::size_t n = xs_.size();
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = xs_[i + 1] - xs_[i];
+    delta[i] = (ys_[i + 1] - ys_[i]) / h[i];
+  }
+  slopes_.assign(n, 0.0);
+  // Fritsch-Carlson: harmonic-mean slopes at interior points where the data
+  // is locally monotone, zero at local extrema; one-sided at the ends.
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (delta[i - 1] * delta[i] > 0.0) {
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      slopes_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  auto end_slope = [](double h0, double h1, double d0, double d1) {
+    double s = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (s * d0 <= 0.0) s = 0.0;
+    else if (d0 * d1 < 0.0 && std::abs(s) > 3.0 * std::abs(d0)) s = 3.0 * d0;
+    return s;
+  };
+  slopes_[0] = (n == 2) ? delta[0] : end_slope(h[0], h[1], delta[0], delta[1]);
+  slopes_[n - 1] = (n == 2) ? delta[n - 2]
+                            : end_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+}
+
+double PchipInterpolator::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = find_interval(xs_, x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * ys_[i] + h10 * h * slopes_[i] + h01 * ys_[i + 1] + h11 * h * slopes_[i + 1];
+}
+
+}  // namespace ptherm::numerics

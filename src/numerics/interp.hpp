@@ -1,0 +1,41 @@
+// Piecewise interpolation on sorted grids — used for table-driven technology
+// parameters (scaling roadmap) and for resampling bench series.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ptherm::numerics {
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+/// Evaluation clamps outside the domain (EDA tables should never extrapolate
+/// silently to nonsense).
+class LinearInterpolator {
+ public:
+  LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] double x_min() const noexcept { return xs_.front(); }
+  [[nodiscard]] double x_max() const noexcept { return xs_.back(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Monotone cubic (Fritsch-Carlson PCHIP) interpolant: shape preserving, so
+/// interpolated roadmaps never overshoot between table entries.
+class PchipInterpolator {
+ public:
+  PchipInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] double operator()(double x) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> slopes_;
+};
+
+}  // namespace ptherm::numerics

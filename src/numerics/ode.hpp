@@ -1,0 +1,32 @@
+// ODE integration for thermal transients (self-heating, Fig. 9) and the
+// compact-RC network. Two integrators: classic RK4 for smooth nonstiff
+// problems and implicit (backward) Euler with a fixed-point inner loop for
+// the stiff electro-thermal feedback case.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ptherm::numerics {
+
+/// dy/dt = f(t, y) for a vector state.
+using OdeRhs = std::function<std::vector<double>(double, const std::vector<double>&)>;
+
+struct OdeSolution {
+  std::vector<double> times;
+  std::vector<std::vector<double>> states;  ///< states[i] is y(times[i])
+};
+
+/// Fixed-step classic Runge-Kutta 4.
+OdeSolution rk4(const OdeRhs& f, std::vector<double> y0, double t0, double t1, double dt);
+
+/// Fixed-step backward Euler; the implicit equation is solved by damped
+/// fixed-point iteration (adequate for the dissipative thermal systems here).
+OdeSolution backward_euler(const OdeRhs& f, std::vector<double> y0, double t0, double t1,
+                           double dt, int max_inner_iterations = 50, double tol = 1e-12);
+
+/// Convenience scalar wrappers.
+OdeSolution rk4_scalar(const std::function<double(double, double)>& f, double y0, double t0,
+                       double t1, double dt);
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,136 @@
+#include "numerics/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+namespace {
+
+struct SimpsonState {
+  const std::function<double(double)>* f = nullptr;
+  QuadratureOptions opts;
+  long evaluations = 0;
+  bool converged = true;
+};
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(SimpsonState& st, double a, double b, double fa, double fm, double fb,
+                     double whole, int depth, double tol) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = (*st.f)(lm);
+  const double frm = (*st.f)(rm);
+  st.evaluations += 2;
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth >= st.opts.max_depth) {
+    st.converged = false;
+    return left + right + delta / 15.0;
+  }
+  if (std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_step(st, a, m, fa, flm, fm, left, depth + 1, 0.5 * tol) +
+         adaptive_step(st, m, b, fm, frm, fb, right, depth + 1, 0.5 * tol);
+}
+
+}  // namespace
+
+QuadratureResult integrate(const std::function<double(double)>& f, double a, double b,
+                           const QuadratureOptions& opts) {
+  QuadratureResult result;
+  if (a == b) return result;
+  SimpsonState st;
+  st.f = &f;
+  st.opts = opts;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  st.evaluations = 3;
+  const double whole = simpson(fa, fm, fb, a, b);
+  const double tol = std::max(opts.abs_tol, opts.rel_tol * std::abs(whole));
+  result.value = adaptive_step(st, a, b, fa, fm, fb, whole, 0, tol);
+  result.error_estimate = tol;
+  result.evaluations = st.evaluations;
+  result.converged = st.converged;
+  return result;
+}
+
+QuadratureResult integrate2d(const std::function<double(double, double)>& f, double ax,
+                             double bx, double ay, double by, const QuadratureOptions& opts) {
+  QuadratureResult total;
+  QuadratureOptions inner = opts;
+  inner.abs_tol = opts.abs_tol * 0.1;
+  inner.rel_tol = opts.rel_tol * 0.1;
+  long evals = 0;
+  bool converged = true;
+  auto row = [&](double y) {
+    auto g = [&](double x) { return f(x, y); };
+    QuadratureResult r = integrate(g, ax, bx, inner);
+    evals += r.evaluations;
+    converged = converged && r.converged;
+    return r.value;
+  };
+  QuadratureResult outer = integrate(row, ay, by, opts);
+  total.value = outer.value;
+  total.error_estimate = outer.error_estimate;
+  total.evaluations = evals + outer.evaluations;
+  total.converged = converged && outer.converged;
+  return total;
+}
+
+double gauss_legendre(const std::function<double(double)>& f, double a, double b, int order) {
+  PTHERM_REQUIRE(order >= 2 && order <= 16, "gauss_legendre: order must be in [2,16]");
+  // Nodes/weights on [-1,1] for the orders we use; generated from standard
+  // tables (symmetric pairs stored once).
+  struct Rule {
+    int n;
+    std::array<double, 8> x;  // non-negative nodes
+    std::array<double, 8> w;
+  };
+  static const std::array<Rule, 4> rules = {{
+      {4,
+       {0.3399810435848563, 0.8611363115940526, 0, 0, 0, 0, 0, 0},
+       {0.6521451548625461, 0.3478548451374538, 0, 0, 0, 0, 0, 0}},
+      {8,
+       {0.1834346424956498, 0.5255324099163290, 0.7966664774136267, 0.9602898564975363, 0, 0, 0, 0},
+       {0.3626837833783620, 0.3137066458778873, 0.2223810344533745, 0.1012285362903763, 0, 0, 0, 0}},
+      {12,
+       {0.1252334085114689, 0.3678314989981802, 0.5873179542866175, 0.7699026741943047,
+        0.9041172563704749, 0.9815606342467192, 0, 0},
+       {0.2491470458134028, 0.2334925365383548, 0.2031674267230659, 0.1600783285433462,
+        0.1069393259953184, 0.0471753363865118, 0, 0}},
+      {16,
+       {0.0950125098376374, 0.2816035507792589, 0.4580167776572274, 0.6178762444026438,
+        0.7554044083550030, 0.8656312023878318, 0.9445750230732326, 0.9894009349916499},
+       {0.1894506104550685, 0.1826034150449236, 0.1691565193950025, 0.1495959888165767,
+        0.1246289712555339, 0.0951585116824928, 0.0622535239386479, 0.0271524594117541}},
+  }};
+  // Pick the smallest rule with n >= order.
+  const Rule* rule = &rules.back();
+  for (const Rule& r : rules) {
+    if (r.n >= order) {
+      rule = &r;
+      break;
+    }
+  }
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double sum = 0.0;
+  const int pairs = rule->n / 2;
+  for (int i = 0; i < pairs; ++i) {
+    sum += rule->w[i] * (f(mid - half * rule->x[i]) + f(mid + half * rule->x[i]));
+  }
+  return sum * half;
+}
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,39 @@
+// Adaptive quadrature. The thermal module integrates the 1/r kernel over
+// rectangles (paper Eq. 17); we provide an adaptive Simpson rule in 1-D and a
+// tensorized 2-D version with recursive subdivision so the mildly singular
+// integrand converges without special casing.
+#pragma once
+
+#include <functional>
+
+namespace ptherm::numerics {
+
+struct QuadratureOptions {
+  double abs_tol = 1e-10;
+  double rel_tol = 1e-8;
+  int max_depth = 30;
+};
+
+struct QuadratureResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  long evaluations = 0;
+  bool converged = true;
+};
+
+/// Adaptive Simpson integration of f over [a, b].
+QuadratureResult integrate(const std::function<double(double)>& f, double a, double b,
+                           const QuadratureOptions& opts = {});
+
+/// Adaptive 2-D integration of f(x, y) over [ax,bx] x [ay,by]: Simpson in y of
+/// adaptive Simpson in x, with the inner tolerance tightened relative to the
+/// outer one.
+QuadratureResult integrate2d(const std::function<double(double, double)>& f, double ax,
+                             double bx, double ay, double by,
+                             const QuadratureOptions& opts = {});
+
+/// Fixed-order Gauss-Legendre rule (orders 2..16 supported) for smooth
+/// integrands where adaptivity is overkill (e.g. image-lattice tail sums).
+double gauss_legendre(const std::function<double(double)>& f, double a, double b, int order);
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,183 @@
+#include "numerics/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+namespace {
+bool opposite_signs(double a, double b) {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts) {
+  PTHERM_REQUIRE(lo <= hi, "bisect: empty interval");
+  double flo = f(lo);
+  double fhi = f(hi);
+  PTHERM_REQUIRE(opposite_signs(flo, fhi), "bisect: interval does not bracket a root");
+  RootResult r;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    r.iterations = it + 1;
+    if (fmid == 0.0 || (hi - lo) * 0.5 < opts.x_tol ||
+        (opts.f_tol > 0.0 && std::abs(fmid) < opts.f_tol)) {
+      r.x = mid;
+      r.f = fmid;
+      r.converged = true;
+      return r;
+    }
+    if (opposite_signs(flo, fmid)) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  r.x = 0.5 * (lo + hi);
+  r.f = f(r.x);
+  r.converged = false;
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts) {
+  PTHERM_REQUIRE(lo <= hi, "brent: empty interval");
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  PTHERM_REQUIRE(opposite_signs(fa, fb), "brent: interval does not bracket a root");
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+  RootResult r;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    r.iterations = it + 1;
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) + 0.5 * opts.x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0 || (opts.f_tol > 0.0 && std::abs(fb) < opts.f_tol)) {
+      r.x = b;
+      r.f = fb;
+      r.converged = true;
+      return r;
+    }
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = m;
+      e = m;
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {  // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // inverse quadratic interpolation
+        const double qq = fa / fc;
+        const double rr = fb / fc;
+        p = s * (2.0 * m * qq * (qq - rr) - (b - a) * (rr - 1.0));
+        q = (qq - 1.0) * (rr - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = b - a;
+      d = e;
+    }
+  }
+  r.x = b;
+  r.f = fb;
+  r.converged = false;
+  return r;
+}
+
+RootResult newton(const std::function<double(double)>& f,
+                  const std::function<double(double)>& df, double x0,
+                  const RootOptions& opts) {
+  RootResult r;
+  double x = x0;
+  double fx = f(x);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    r.iterations = it + 1;
+    if (std::abs(fx) <= opts.f_tol || fx == 0.0) {
+      r.x = x;
+      r.f = fx;
+      r.converged = true;
+      return r;
+    }
+    const double dfx = df(x);
+    if (dfx == 0.0 || !std::isfinite(dfx)) break;
+    double step = -fx / dfx;
+    // Damping: halve until |f| decreases (at most 40 halvings).
+    double x_new = x + step;
+    double f_new = f(x_new);
+    int halvings = 0;
+    while ((!std::isfinite(f_new) || std::abs(f_new) > std::abs(fx)) && halvings < 40) {
+      step *= 0.5;
+      x_new = x + step;
+      f_new = f(x_new);
+      ++halvings;
+    }
+    if (std::abs(step) < opts.x_tol) {
+      r.x = x_new;
+      r.f = f_new;
+      r.converged = std::isfinite(f_new);
+      return r;
+    }
+    x = x_new;
+    fx = f_new;
+  }
+  r.x = x;
+  r.f = fx;
+  r.converged = false;
+  return r;
+}
+
+bool expand_bracket(const std::function<double(double)>& f, double& lo, double& hi,
+                    int max_expansions) {
+  PTHERM_REQUIRE(lo < hi, "expand_bracket: empty interval");
+  double flo = f(lo);
+  double fhi = f(hi);
+  for (int i = 0; i < max_expansions; ++i) {
+    if (opposite_signs(flo, fhi)) return true;
+    const double width = hi - lo;
+    if (std::abs(flo) < std::abs(fhi)) {
+      lo -= width;
+      flo = f(lo);
+    } else {
+      hi += width;
+      fhi = f(hi);
+    }
+  }
+  return opposite_signs(flo, fhi);
+}
+
+}  // namespace ptherm::numerics

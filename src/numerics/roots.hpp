@@ -1,0 +1,47 @@
+// Scalar root finding used throughout the library: the exact stack solver
+// (current continuity), thermal-resistance extraction, and the co-simulation
+// engine all reduce subproblems to 1-D roots.
+#pragma once
+
+#include <functional>
+
+namespace ptherm::numerics {
+
+/// Options shared by the bracketing solvers.
+struct RootOptions {
+  double x_tol = 1e-12;       ///< absolute tolerance on the root location
+  double f_tol = 0.0;         ///< optional absolute tolerance on |f|
+  int max_iterations = 200;
+};
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;             ///< best estimate of the root
+  double f = 0.0;             ///< f(x) at the estimate
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite sign
+/// (throws PreconditionError otherwise). Always converges, slowly.
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts = {});
+
+/// Brent's method on [lo, hi]; same bracketing requirement as bisect but
+/// superlinear. This is the workhorse for the "exact" solvers.
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts = {});
+
+/// Damped Newton from an initial guess; falls back to halving the step when
+/// |f| does not decrease. Derivative supplied by the caller.
+RootResult newton(const std::function<double(double)>& f,
+                  const std::function<double(double)>& df, double x0,
+                  const RootOptions& opts = {});
+
+/// Expands [lo, hi] geometrically around the initial interval until f changes
+/// sign or `max_expansions` is hit. Returns true on success and updates the
+/// bracket in place.
+bool expand_bracket(const std::function<double(double)>& f, double& lo, double& hi,
+                    int max_expansions = 60);
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,140 @@
+#include "numerics/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+void SparseBuilder::add(std::size_t row, std::size_t col, double value) {
+  PTHERM_REQUIRE(row < rows_ && col < cols_, "sparse entry out of range");
+  if (value != 0.0) entries_.push_back({row, col, value});
+}
+
+CsrMatrix::CsrMatrix(const SparseBuilder& builder)
+    : rows_(builder.rows()), cols_(builder.cols()) {
+  const auto& trips = builder.triplets();
+  // Sort indices by (row, col) to merge duplicates.
+  std::vector<std::size_t> order(trips.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (trips[a].row != trips[b].row) return trips[a].row < trips[b].row;
+    return trips[a].col < trips[b].col;
+  });
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(trips.size());
+  values_.reserve(trips.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const auto& first = trips[order[i]];
+    double sum = first.value;
+    std::size_t j = i + 1;
+    while (j < order.size() && trips[order[j]].row == first.row &&
+           trips[order[j]].col == first.col) {
+      sum += trips[order[j]].value;
+      ++j;
+    }
+    col_idx_.push_back(first.col);
+    values_.push_back(sum);
+    ++row_ptr_[first.row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  PTHERM_REQUIRE(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+std::vector<double> CsrMatrix::multiply(std::span<const double> x) const {
+  std::vector<double> y(rows_, 0.0);
+  multiply(x, y);
+  return y;
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) d[r] = values_[k];
+    }
+  }
+  return d;
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            const CgOptions& opts, std::span<const double> x0) {
+  PTHERM_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
+  PTHERM_REQUIRE(b.size() == a.rows(), "CG rhs size mismatch");
+  const std::size_t n = a.rows();
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (!x0.empty()) {
+    PTHERM_REQUIRE(x0.size() == n, "CG warm-start size mismatch");
+    std::copy(x0.begin(), x0.end(), result.x.begin());
+  }
+
+  std::vector<double> diag = a.diagonal();
+  for (double& d : diag) {
+    PTHERM_REQUIRE(d > 0.0, "CG: non-positive diagonal (matrix not SPD?)");
+    d = 1.0 / d;
+  }
+
+  const double norm_b = std::sqrt(std::inner_product(b.begin(), b.end(), b.begin(), 0.0));
+  if (norm_b == 0.0) {
+    std::fill(result.x.begin(), result.x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(result.x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  // Warm starts can land at (or on top of) the solution already.
+  {
+    const double norm_r = std::sqrt(std::inner_product(r.begin(), r.end(), r.begin(), 0.0));
+    result.residual = norm_r / norm_b;
+    if (result.residual < opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
+  p = z;
+  double rz = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double p_ap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
+    if (p_ap <= 0.0) break;  // loss of positive-definiteness
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) result.x[i] += alpha * p[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    const double norm_r = std::sqrt(std::inner_product(r.begin(), r.end(), r.begin(), 0.0));
+    result.iterations = it + 1;
+    result.residual = norm_r / norm_b;
+    if (result.residual < opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
+    const double rz_new = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace ptherm::numerics

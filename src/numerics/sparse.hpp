@@ -1,0 +1,79 @@
+// Sparse linear algebra for the finite-difference thermal solver: COO
+// assembly, CSR storage, and a Jacobi-preconditioned conjugate gradient for
+// the SPD Laplacian systems that solver produces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptherm::numerics {
+
+/// Triplet-based builder; duplicate (row, col) entries are summed on build,
+/// which is exactly what stencil/stamp assembly wants.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t row, std::size_t col, double value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t triplet_count() const noexcept { return entries_.size(); }
+
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Triplet>& triplets() const noexcept { return entries_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+/// Compressed sparse row matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  explicit CsrMatrix(const SparseBuilder& builder);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// y = A*x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// Diagonal entries (0 where the row has no diagonal).
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+struct CgOptions {
+  double tolerance = 1e-10;   ///< relative residual ||r||/||b||
+  int max_iterations = 10000;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  double residual = 0.0;  ///< final relative residual
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Jacobi-preconditioned CG for SPD systems. `x0` (optional) warm-starts the
+/// iteration — the co-simulation loop re-solves nearly identical systems.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            const CgOptions& opts = {}, std::span<const double> x0 = {});
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,61 @@
+#include "power/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::power {
+
+using device::Technology;
+
+double transient_power(const Technology& tech, const SwitchingContext& ctx) noexcept {
+  return ctx.activity * ctx.frequency * ctx.c_load * tech.vdd * tech.vdd;
+}
+
+double short_circuit_charge(const Technology& tech, double wn, double wp, double length,
+                            const SwitchingContext& ctx) {
+  PTHERM_REQUIRE(wn > 0.0 && wp > 0.0 && length > 0.0, "short_circuit_charge: bad geometry");
+  PTHERM_REQUIRE(ctx.tau_in >= 0.0, "short_circuit_charge: negative transition time");
+  const double vdd = tech.vdd;
+  const double vtn = tech.vt0_n;
+  const double vtp = tech.vt0_p;
+  // Conduction window: both devices are on while vtn < Vin < VDD - |vtp|.
+  const double window = vdd - vtn - vtp;
+  if (window <= 0.0 || ctx.tau_in == 0.0) return 0.0;  // no overlap, no Qsc
+  const double t_overlap = ctx.tau_in * window / vdd;
+
+  // Peak: the weaker device in saturation at the mid-swing input.
+  const double v_mid = 0.5 * vdd;
+  const double ov_n = std::max(0.0, v_mid - vtn);
+  const double ov_p = std::max(0.0, vdd - v_mid - vtp);
+  const double i_n = 0.5 * tech.kp_n * (wn / length) * ov_n * ov_n;
+  const double i_p = 0.5 * tech.kp_p * (wp / length) * ov_p * ov_p;
+  const double i_peak = std::min(i_n, i_p);
+  if (i_peak <= 0.0) return 0.0;
+
+  // Load feedback: a heavy load slows the output, starving the short-circuit
+  // path; derate by C_crit / (C_crit + C_load) with C_crit the charge the
+  // peak current can move during the transition.
+  const double c_crit = i_peak * ctx.tau_in / vdd;
+  const double derate = c_crit / (c_crit + ctx.c_load);
+
+  // Triangular conduction pulse.
+  return 0.5 * i_peak * t_overlap * derate;
+}
+
+double short_circuit_power(const Technology& tech, double wn, double wp, double length,
+                           const SwitchingContext& ctx) {
+  const double qsc = short_circuit_charge(tech, wn, wp, length, ctx);
+  return ctx.activity * ctx.frequency * qsc * tech.vdd;
+}
+
+GateDynamicPower gate_dynamic_power(const Technology& tech, double wn, double wp,
+                                    double length, const SwitchingContext& ctx) {
+  GateDynamicPower p;
+  p.transient = transient_power(tech, ctx);
+  p.short_circuit = short_circuit_power(tech, wn, wp, length, ctx);
+  return p;
+}
+
+}  // namespace ptherm::power

@@ -1,0 +1,68 @@
+#include "scaling/roadmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "device/mosfet.hpp"
+
+namespace ptherm::scaling {
+
+std::vector<RoadmapNode> default_roadmap() {
+  const double nodes_um[] = {0.8, 0.35, 0.25, 0.18, 0.13, 0.10, 0.07, 0.05, 0.035, 0.025};
+  std::vector<RoadmapNode> roadmap;
+  roadmap.reserve(std::size(nodes_um));
+  for (double f : nodes_um) {
+    RoadmapNode n;
+    n.feature_um = f;
+    n.tech = device::Technology::scaled_node(f);
+
+    // Density: anchored at ~250k gates for the 0.8 um generation, growing a
+    // bit slower than quadratically (die cost limits) to ~1.3e8 gates at
+    // 25 nm.
+    n.gate_count = 2.5e5 * std::pow(0.8 / f, 1.8);
+
+    // Frequency: ~66 MHz at 0.8 um growing faster than 1/f (gate delay plus
+    // deeper pipelines), hitting the power-wall plateau at ~3.5 GHz — this
+    // saturation is what bends the dynamic-power curve flat at the end of
+    // Fig. 1.
+    n.frequency = std::min(66e6 * std::pow(0.8 / f, 1.8), 3.5e9);
+
+    n.activity = 0.1;
+
+    // Average switched capacitance per gate: device caps from the node's
+    // oxide plus a wire term that shrinks more slowly (pitch scales, length
+    // per gate does not fully).
+    const double w_avg = 3.0 * n.tech.w_min;
+    const double c_device = 6.0 * n.tech.cox_area * w_avg * n.tech.l_drawn;
+    const double c_wire = 8e-15 * std::pow(f / 0.13, 0.8);
+    n.c_per_gate = c_device + c_wire;
+
+    // Three average OFF paths facing the rails per gate (complementary pairs
+    // plus internal nodes) — calibrated so the 100 C static share at the
+    // last node matches Fig. 1's roughly one-third.
+    n.leak_paths_per_gate = 3.0;
+    n.leak_width = 2.0 * n.tech.w_min;
+    roadmap.push_back(std::move(n));
+  }
+  return roadmap;
+}
+
+NodePower node_power(const RoadmapNode& node, double temp) {
+  PTHERM_REQUIRE(temp > 0.0, "node_power: absolute temperature required");
+  NodePower p;
+  p.dynamic = node.gate_count * node.activity * node.frequency * node.c_per_gate *
+              node.tech.vdd * node.tech.vdd;
+  const double i_off_n =
+      device::off_current(node.tech, device::MosType::Nmos, node.leak_width,
+                          node.tech.l_drawn, temp);
+  const double i_off_p =
+      device::off_current(node.tech, device::MosType::Pmos, node.leak_width,
+                          node.tech.l_drawn, temp);
+  // Half the OFF paths block through nMOS, half through pMOS on average.
+  const double i_gate = 0.5 * node.leak_paths_per_gate * (i_off_n + i_off_p);
+  p.stat = node.gate_count * i_gate * node.tech.vdd;
+  return p;
+}
+
+}  // namespace ptherm::scaling

@@ -1,0 +1,44 @@
+// Technology-scaling roadmap behind the reproduction of Fig. 1 (dynamic vs
+// static power across process generations at several temperatures).
+//
+// The paper reprints Duarte et al.'s projection; the underlying data is not
+// published, so we regenerate the trend from first principles: a die with
+// ITRS-flavoured density/frequency growth, dynamic power from
+// alpha*f*C*VDD^2 per gate, and static power from this library's own leakage
+// model evaluated on the scaled technology of each node. Absolute watts are
+// calibration (documented in-line); the reproduced claims are the *shape* —
+// dynamic power growing then flattening, static power exploding with an
+// exponential temperature dependence, and the high-temperature static curve
+// overtaking dynamic at the end of the roadmap.
+#pragma once
+
+#include <vector>
+
+#include "device/tech.hpp"
+
+namespace ptherm::scaling {
+
+struct RoadmapNode {
+  double feature_um = 0.0;       ///< node name, microns (e.g. 0.13)
+  device::Technology tech;       ///< electrical parameters for the node
+  double gate_count = 0.0;       ///< logic gates on the die
+  double frequency = 0.0;        ///< clock [Hz]
+  double activity = 0.1;         ///< switching activity
+  double c_per_gate = 0.0;       ///< average switched capacitance per gate [F]
+  double leak_paths_per_gate = 2.0;  ///< average OFF devices facing VDD
+  double leak_width = 0.0;       ///< average OFF-path width [m]
+};
+
+/// The ten nodes of Fig. 1: 0.8, 0.35, 0.25, 0.18, 0.13, 0.10, 0.07, 0.05,
+/// 0.035, 0.025 um.
+[[nodiscard]] std::vector<RoadmapNode> default_roadmap();
+
+struct NodePower {
+  double dynamic = 0.0;  ///< [W]
+  double stat = 0.0;     ///< [W] at the requested temperature
+};
+
+/// Die power at absolute temperature `temp` [K].
+[[nodiscard]] NodePower node_power(const RoadmapNode& node, double temp);
+
+}  // namespace ptherm::scaling

@@ -1,0 +1,86 @@
+#include "spice/circuit.hpp"
+
+#include "common/error.hpp"
+
+namespace ptherm::spice {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return ground();
+  auto it = names_.find(name);
+  if (it != names_.end()) return it->second;
+  const NodeId id = next_node_++;
+  names_.emplace(name, id);
+  return id;
+}
+
+void Circuit::check_node(NodeId n) const {
+  PTHERM_REQUIRE(n >= 0 && n < next_node_, "unknown node id");
+}
+
+void Circuit::check_unique_name(const std::string& name) {
+  PTHERM_REQUIRE(!name.empty(), "element name must not be empty");
+  PTHERM_REQUIRE(element_names_.emplace(name, '\0').second,
+                 "duplicate element name: " + name);
+}
+
+void Circuit::add_resistor(const std::string& name, NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  PTHERM_REQUIRE(ohms > 0.0, "resistance must be positive");
+  check_unique_name(name);
+  resistors_.push_back({name, a, b, ohms});
+}
+
+void Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b, double farads) {
+  check_node(a);
+  check_node(b);
+  PTHERM_REQUIRE(farads > 0.0, "capacitance must be positive");
+  check_unique_name(name);
+  capacitors_.push_back({name, a, b, farads});
+}
+
+void Circuit::add_vsource(const std::string& name, NodeId plus, NodeId minus, double volts) {
+  check_node(plus);
+  check_node(minus);
+  check_unique_name(name);
+  vsources_.push_back({name, plus, minus, volts, std::nullopt});
+}
+
+void Circuit::add_isource(const std::string& name, NodeId from, NodeId to, double amps) {
+  check_node(from);
+  check_node(to);
+  check_unique_name(name);
+  isources_.push_back({name, from, to, amps});
+}
+
+void Circuit::add_mosfet(const std::string& name, NodeId drain, NodeId gate, NodeId source,
+                         NodeId bulk, device::MosModel model) {
+  check_node(drain);
+  check_node(gate);
+  check_node(source);
+  check_node(bulk);
+  check_unique_name(name);
+  mosfets_.push_back({name, drain, gate, source, bulk, std::move(model)});
+}
+
+void Circuit::set_vsource_waveform(const std::string& name, Waveform waveform) {
+  for (auto& v : vsources_) {
+    if (v.name == name) {
+      v.waveform = std::move(waveform);
+      return;
+    }
+  }
+  throw PreconditionError("set_vsource_waveform: no such source: " + name);
+}
+
+void Circuit::set_vsource_value(const std::string& name, double volts) {
+  for (auto& v : vsources_) {
+    if (v.name == name) {
+      v.volts = volts;
+      return;
+    }
+  }
+  throw PreconditionError("set_vsource_value: no such source: " + name);
+}
+
+}  // namespace ptherm::spice

@@ -1,0 +1,108 @@
+// Circuit representation for the "SPICE" substitute.
+//
+// The paper validates its analytic leakage model against SPICE runs of the
+// same devices (Fig. 8). We rebuild that baseline: a nodal circuit with
+// resistors, capacitors, independent sources and MOSFETs (device/MosModel),
+// solved by Newton on the MNA equations (spice/dc.hpp) and by backward Euler
+// in time (spice/transient.hpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.hpp"
+
+namespace ptherm::spice {
+
+/// Node handle; 0 is ground.
+using NodeId = int;
+
+/// Time-dependent source value (transient analyses); seconds -> volts/amps.
+using Waveform = std::function<double(double)>;
+
+class Circuit {
+ public:
+  /// Returns the id of the named node, creating it on first use.
+  /// The name "0" (and "gnd") map to ground.
+  NodeId node(const std::string& name);
+
+  [[nodiscard]] static constexpr NodeId ground() noexcept { return 0; }
+
+  /// Number of nodes including ground.
+  [[nodiscard]] int node_count() const noexcept { return next_node_; }
+
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  void add_capacitor(const std::string& name, NodeId a, NodeId b, double farads);
+
+  /// Ideal voltage source; current through it is an MNA unknown.
+  void add_vsource(const std::string& name, NodeId plus, NodeId minus, double volts);
+
+  /// Independent current source pushing `amps` from `from` to `to`.
+  void add_isource(const std::string& name, NodeId from, NodeId to, double amps);
+
+  void add_mosfet(const std::string& name, NodeId drain, NodeId gate, NodeId source,
+                  NodeId bulk, device::MosModel model);
+
+  /// Makes a voltage source time dependent (transient only; DC uses the
+  /// value at t = 0 if a waveform is installed).
+  void set_vsource_waveform(const std::string& name, Waveform waveform);
+
+  /// Changes the DC value of a voltage source (for sweeps).
+  void set_vsource_value(const std::string& name, double volts);
+
+  // ---- element tables (read by the solvers) ------------------------------
+  struct Resistor {
+    std::string name;
+    NodeId a, b;
+    double ohms;
+  };
+  struct Capacitor {
+    std::string name;
+    NodeId a, b;
+    double farads;
+  };
+  struct VSource {
+    std::string name;
+    NodeId plus, minus;
+    double volts;
+    std::optional<Waveform> waveform;
+  };
+  struct ISource {
+    std::string name;
+    NodeId from, to;
+    double amps;
+  };
+  struct Mosfet {
+    std::string name;
+    NodeId drain, gate, source, bulk;
+    device::MosModel model;
+  };
+
+  [[nodiscard]] const std::vector<Resistor>& resistors() const noexcept { return resistors_; }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const noexcept { return capacitors_; }
+  [[nodiscard]] const std::vector<VSource>& vsources() const noexcept { return vsources_; }
+  [[nodiscard]] const std::vector<ISource>& isources() const noexcept { return isources_; }
+  [[nodiscard]] const std::vector<Mosfet>& mosfets() const noexcept { return mosfets_; }
+
+  [[nodiscard]] const std::map<std::string, NodeId>& named_nodes() const noexcept {
+    return names_;
+  }
+
+ private:
+  void check_node(NodeId n) const;
+  void check_unique_name(const std::string& name);
+
+  int next_node_ = 1;  // 0 reserved for ground
+  std::map<std::string, NodeId> names_;
+  std::map<std::string, char> element_names_;  // uniqueness guard
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace ptherm::spice

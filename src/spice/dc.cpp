@@ -1,0 +1,67 @@
+#include "spice/dc.hpp"
+
+#include "common/error.hpp"
+#include "spice/newton_core.hpp"
+
+namespace ptherm::spice {
+
+DcSolution solve_dc(const Circuit& circuit, const DcOptions& opts) {
+  PTHERM_REQUIRE(circuit.node_count() > 1, "solve_dc: circuit has no nodes");
+  detail::NewtonCore core(circuit, opts);
+  detail::TransientContext no_transient;
+  std::vector<double> x(static_cast<std::size_t>(core.size()), 0.0);
+
+  DcSolution sol;
+  bool any_rung = false;
+  for (double gmin : opts.gmin_steps) {
+    std::vector<double> trial = x;
+    if (core.newton(trial, gmin, no_transient, sol.iterations)) {
+      x = trial;
+      any_rung = true;
+    }
+  }
+  if (!any_rung) {
+    throw ConvergenceError("solve_dc: Newton failed on every gmin rung");
+  }
+  // Polish without gmin; on failure keep the smallest-gmin solution (a node
+  // with no DC path to ground legitimately needs gmin).
+  {
+    std::vector<double> trial = x;
+    int polish_iters = 0;
+    if (core.newton(trial, 0.0, no_transient, polish_iters)) {
+      x = trial;
+      sol.iterations += polish_iters;
+    }
+  }
+  sol.converged = true;
+
+  const int nn = circuit.node_count() - 1;
+  sol.node_voltages.assign(static_cast<std::size_t>(circuit.node_count()), 0.0);
+  for (int n = 1; n < circuit.node_count(); ++n) sol.node_voltages[n] = x[n - 1];
+  const auto& vsrcs = circuit.vsources();
+  for (std::size_t j = 0; j < vsrcs.size(); ++j) {
+    sol.vsource_currents[vsrcs[j].name] = x[nn + static_cast<int>(j)];
+  }
+  auto v_at = [&](NodeId n) { return sol.node_voltages[n]; };
+  for (const auto& m : circuit.mosfets()) {
+    sol.device_currents[m.name] =
+        m.model.ids(v_at(m.gate), v_at(m.drain), v_at(m.source), v_at(m.bulk), opts.temp);
+  }
+  for (const auto& r : circuit.resistors()) {
+    sol.device_currents[r.name] = (v_at(r.a) - v_at(r.b)) / r.ohms;
+  }
+  return sol;
+}
+
+std::vector<DcSolution> dc_sweep(Circuit& circuit, const std::string& source,
+                                 const std::vector<double>& values, const DcOptions& opts) {
+  std::vector<DcSolution> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    circuit.set_vsource_value(source, v);
+    out.push_back(solve_dc(circuit, opts));
+  }
+  return out;
+}
+
+}  // namespace ptherm::spice

@@ -1,0 +1,48 @@
+// DC operating-point solver: damped Newton on the MNA equations with gmin
+// continuation. Unknowns are the non-ground node voltages plus one branch
+// current per voltage source.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace ptherm::spice {
+
+struct DcOptions {
+  double v_abstol = 1e-10;        ///< Newton step convergence [V]
+  double i_abstol = 1e-18;        ///< KCL residual floor [A]
+  double i_reltol = 1e-6;         ///< KCL residual relative to node current scale
+  double max_step = 0.3;          ///< per-iteration voltage step clamp [V]
+  double v_limit = 10.0;          ///< hard clamp on node voltages [V]
+  int max_iterations = 300;
+  double temp = 300.0;            ///< device temperature [K]
+  /// gmin continuation ladder; the final entry is removed for a polish solve.
+  std::vector<double> gmin_steps = {1e-3, 1e-6, 1e-9, 1e-12};
+};
+
+struct DcSolution {
+  bool converged = false;
+  int iterations = 0;             ///< total Newton iterations over all gmin steps
+  std::vector<double> node_voltages;              ///< indexed by NodeId (0 = ground)
+  std::map<std::string, double> vsource_currents; ///< current from + through source to -
+  std::map<std::string, double> device_currents;  ///< MOSFET drain->source currents
+
+  [[nodiscard]] double voltage(NodeId n) const { return node_voltages.at(n); }
+};
+
+/// Solves the DC operating point at `opts.temp`. Waveform sources use their
+/// value at t = 0. Throws ConvergenceError when Newton fails on every gmin
+/// rung; returns converged = false only if the polish (gmin = 0) step fails
+/// after a successful continuation.
+DcSolution solve_dc(const Circuit& circuit, const DcOptions& opts = {});
+
+/// Sweeps the named voltage source over `values`, reusing each solution as
+/// the next initial guess. Returns one solution per value.
+std::vector<DcSolution> dc_sweep(Circuit& circuit, const std::string& source,
+                                 const std::vector<double>& values,
+                                 const DcOptions& opts = {});
+
+}  // namespace ptherm::spice

@@ -1,0 +1,82 @@
+#include "spice/export.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace ptherm::spice {
+
+namespace {
+/// Builds the id -> printable-name map (named nodes keep their names).
+std::map<NodeId, std::string> node_names(const Circuit& ckt) {
+  std::map<NodeId, std::string> names;
+  names[Circuit::ground()] = "0";
+  for (const auto& [name, id] : ckt.named_nodes()) names[id] = name;
+  for (NodeId n = 0; n < ckt.node_count(); ++n) {
+    if (!names.count(n)) names[n] = "n" + std::to_string(n);
+  }
+  return names;
+}
+}  // namespace
+
+void export_deck(const Circuit& circuit, std::ostream& os, const ExportOptions& opts) {
+  const auto names = node_names(circuit);
+  auto nn = [&](NodeId n) { return names.at(n); };
+
+  os << "* " << opts.title << "\n";
+  os << ".temp " << to_celsius(opts.temp) << "\n";
+
+  for (const auto& r : circuit.resistors()) {
+    os << "R" << r.name << " " << nn(r.a) << " " << nn(r.b) << " " << r.ohms << "\n";
+  }
+  for (const auto& c : circuit.capacitors()) {
+    os << "C" << c.name << " " << nn(c.a) << " " << nn(c.b) << " " << c.farads << "\n";
+  }
+  for (const auto& v : circuit.vsources()) {
+    os << "V" << v.name << " " << nn(v.plus) << " " << nn(v.minus) << " DC "
+       << (v.waveform ? (*v.waveform)(0.0) : v.volts) << "\n";
+  }
+  for (const auto& i : circuit.isources()) {
+    os << "I" << i.name << " " << nn(i.from) << " " << nn(i.to) << " DC " << i.amps << "\n";
+  }
+
+  bool any_nmos = false;
+  bool any_pmos = false;
+  const device::Technology* tech = nullptr;
+  for (const auto& m : circuit.mosfets()) {
+    const bool is_n = m.model.type() == device::MosType::Nmos;
+    any_nmos |= is_n;
+    any_pmos |= !is_n;
+    os << "M" << m.name << " " << nn(m.drain) << " " << nn(m.gate) << " " << nn(m.source)
+       << " " << nn(m.bulk) << " " << (is_n ? "NMOS_PT" : "PMOS_PT")
+       << " W=" << m.model.width() << " L=" << m.model.length() << "\n";
+    tech = &m.model.technology();
+  }
+  if (tech) {
+    if (any_nmos) {
+      os << ".model NMOS_PT NMOS (LEVEL=1 VTO=" << tech->vt0_n << " KP=" << tech->kp_n
+         << " LAMBDA=" << tech->lambda << ")\n";
+      os << "* subthreshold (not expressible in LEVEL=1): I0=" << tech->i0_n
+         << " n=" << tech->n_swing << " sigma_DIBL=" << tech->sigma_dibl
+         << " gamma'=" << tech->gamma_lin << " KT=" << tech->k_t << "\n";
+    }
+    if (any_pmos) {
+      os << ".model PMOS_PT PMOS (LEVEL=1 VTO=" << -tech->vt0_p << " KP=" << tech->kp_p
+         << " LAMBDA=" << tech->lambda << ")\n";
+    }
+  }
+  os << ".op\n.end\n";
+}
+
+bool export_deck_file(const Circuit& circuit, const std::string& path,
+                      const ExportOptions& opts) {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_deck(circuit, out, opts);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ptherm::spice

@@ -1,0 +1,31 @@
+// SPICE-deck export: writes a Circuit as a standard .sp netlist (elements,
+// a .model card per MOS polarity with the Eq. (1)/(2)-equivalent LEVEL=1-ish
+// parameters, and a .op card) so any result produced with the built-in MNA
+// solver can be re-checked in an external simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace ptherm::spice {
+
+struct ExportOptions {
+  std::string title = "ptherm export";
+  double temp = 300.0;  ///< analysis temperature [K], written as .temp in C
+};
+
+/// Writes the deck to `os`. Node 0 is ground; named nodes keep their names,
+/// anonymous ones get n<id>. MOSFETs reference .model cards NMOS_PT/PMOS_PT
+/// carrying VTO/KP/LAMBDA/GAMMA-equivalent values from the device's
+/// technology (subthreshold parameters are emitted as comments — external
+/// level-1 models have no such knobs, which is exactly why Fig. 8 needed a
+/// BSIM deck; the card is for topology-level cross-checks).
+void export_deck(const Circuit& circuit, std::ostream& os, const ExportOptions& opts = {});
+
+/// Convenience: export to a file; returns false if it cannot be opened.
+bool export_deck_file(const Circuit& circuit, const std::string& path,
+                      const ExportOptions& opts = {});
+
+}  // namespace ptherm::spice

@@ -1,0 +1,55 @@
+// Internal shared Newton/MNA assembler used by both the DC and the transient
+// solver. Not part of the public API (no installation guarantees); kept in a
+// header so the two front ends share one residual definition.
+#pragma once
+
+#include <vector>
+
+#include "numerics/dense.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+
+namespace ptherm::spice::detail {
+
+/// Extra state for transient steps; when `active` the assembler stamps
+/// backward-Euler capacitor companions and evaluates waveforms at `time`.
+struct TransientContext {
+  bool active = false;
+  double time = 0.0;
+  double dt = 0.0;
+  /// Node voltages at the previous accepted time point (size = node_count).
+  std::vector<double> prev_voltages;
+};
+
+/// Unknown layout: x = [V_1 .. V_{n-1}, I_vsrc_0 .. I_vsrc_{m-1}].
+class NewtonCore {
+ public:
+  NewtonCore(const Circuit& ckt, const DcOptions& opts);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] int node_unknowns() const noexcept { return num_nodes_ - 1; }
+
+  [[nodiscard]] static double v_of(const std::vector<double>& x, NodeId n) {
+    return n == 0 ? 0.0 : x[n - 1];
+  }
+
+  /// Assembles KCL residual `f`, per-row current scale, and optionally the
+  /// Jacobian, at unknown vector `x` with the given gmin.
+  void assemble(const std::vector<double>& x, double gmin, const TransientContext& tr,
+                std::vector<double>& f, std::vector<double>& scale,
+                numerics::Matrix* jac) const;
+
+  /// Damped Newton at one gmin rung; returns true on convergence and updates
+  /// `x` in place. `iterations_used` accumulates.
+  bool newton(std::vector<double>& x, double gmin, const TransientContext& tr,
+              int& iterations_used) const;
+
+ private:
+  const Circuit& ckt_;
+  const DcOptions& opts_;
+  int num_nodes_;
+  int num_v_;
+  int size_;
+};
+
+}  // namespace ptherm::spice::detail

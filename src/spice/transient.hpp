@@ -1,0 +1,36 @@
+// Fixed-step backward-Euler transient analysis. Initial condition is the DC
+// operating point at t = 0 (waveform sources evaluated at 0). Used for
+// switching-energy validation of the dynamic power model and for RC sanity
+// tests of the solver itself.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+
+namespace ptherm::spice {
+
+struct TransientOptions {
+  double t_stop = 1e-9;
+  double dt = 1e-12;
+  DcOptions dc;  ///< Newton settings (temperature, tolerances)
+};
+
+struct TransientResult {
+  std::vector<double> times;
+  /// voltages[k][n] = node n voltage at times[k].
+  std::vector<std::vector<double>> voltages;
+  /// Branch current of each voltage source at every step.
+  std::map<std::string, std::vector<double>> vsource_currents;
+
+  [[nodiscard]] std::vector<double> node_waveform(NodeId n) const;
+};
+
+/// Runs backward Euler from the DC operating point at t=0 to t_stop.
+/// Throws ConvergenceError if a time step cannot be solved.
+TransientResult solve_transient(const Circuit& circuit, const TransientOptions& opts);
+
+}  // namespace ptherm::spice

@@ -1,0 +1,148 @@
+#include "thermal/fdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::thermal {
+
+FdmThermalSolver::FdmThermalSolver(Die die, FdmOptions opts) : die_(die), opts_(opts) {
+  PTHERM_REQUIRE(opts_.nx >= 2 && opts_.ny >= 2 && opts_.nz >= 2, "FDM: grid too small");
+  dx_ = die_.width / opts_.nx;
+  dy_ = die_.height / opts_.ny;
+  dz_ = die_.thickness / opts_.nz;
+  cell_capacitance_ = opts_.cv * dx_ * dy_ * dz_;
+  assemble();
+}
+
+void FdmThermalSolver::stamp_conduction(numerics::SparseBuilder& builder) const {
+  const double k = die_.k_si;
+  // Conductances between adjacent cell centres: G = k * A / d; half-cell
+  // link (2G) to an isothermal boundary plane.
+  const double gx = k * dy_ * dz_ / dx_;
+  const double gy = k * dx_ * dz_ / dy_;
+  const double gz = k * dx_ * dy_ / dz_;
+  const bool iso_side = opts_.lateral == LateralBoundary::Isothermal;
+  for (int kz = 0; kz < opts_.nz; ++kz) {
+    for (int j = 0; j < opts_.ny; ++j) {
+      for (int i = 0; i < opts_.nx; ++i) {
+        const std::size_t c = cell_index(i, j, kz);
+        double diag = 0.0;
+        auto couple = [&](std::size_t other, double g) {
+          builder.add(c, other, -g);
+          diag += g;
+        };
+        if (i > 0) couple(cell_index(i - 1, j, kz), gx);
+        if (i + 1 < opts_.nx) couple(cell_index(i + 1, j, kz), gx);
+        if (j > 0) couple(cell_index(i, j - 1, kz), gy);
+        if (j + 1 < opts_.ny) couple(cell_index(i, j + 1, kz), gy);
+        if (kz > 0) couple(cell_index(i, j, kz - 1), gz);
+        if (kz + 1 < opts_.nz) couple(cell_index(i, j, kz + 1), gz);
+        // Top (kz == 0) is adiabatic — no term. Bottom is Dirichlet at the
+        // sink (rise = 0): half-cell conductance to ground.
+        if (kz + 1 == opts_.nz) diag += 2.0 * gz;
+        if (iso_side) {
+          if (i == 0) diag += 2.0 * gx;
+          if (i + 1 == opts_.nx) diag += 2.0 * gx;
+          if (j == 0) diag += 2.0 * gy;
+          if (j + 1 == opts_.ny) diag += 2.0 * gy;
+        }
+        builder.add(c, c, diag);
+      }
+    }
+  }
+}
+
+void FdmThermalSolver::assemble() {
+  const std::size_t n = cell_count();
+  numerics::SparseBuilder builder(n, n);
+  stamp_conduction(builder);
+  laplacian_ = numerics::CsrMatrix(builder);
+}
+
+std::vector<double> FdmThermalSolver::surface_power(
+    const std::vector<HeatSource>& sources) const {
+  std::vector<double> q(cell_count(), 0.0);
+  for (const auto& s : sources) {
+    const double x0 = s.cx - 0.5 * s.w;
+    const double x1 = s.cx + 0.5 * s.w;
+    const double y0 = s.cy - 0.5 * s.l;
+    const double y1 = s.cy + 0.5 * s.l;
+    const double density = s.power / (s.w * s.l);
+    const int i0 = std::clamp(static_cast<int>(std::floor(x0 / dx_)), 0, opts_.nx - 1);
+    const int i1 = std::clamp(static_cast<int>(std::floor((x1 - 1e-15) / dx_)), 0, opts_.nx - 1);
+    const int j0 = std::clamp(static_cast<int>(std::floor(y0 / dy_)), 0, opts_.ny - 1);
+    const int j1 = std::clamp(static_cast<int>(std::floor((y1 - 1e-15) / dy_)), 0, opts_.ny - 1);
+    for (int j = j0; j <= j1; ++j) {
+      const double cy0 = j * dy_;
+      const double cy1 = cy0 + dy_;
+      const double oy = std::max(0.0, std::min(y1, cy1) - std::max(y0, cy0));
+      for (int i = i0; i <= i1; ++i) {
+        const double cx0 = i * dx_;
+        const double cx1 = cx0 + dx_;
+        const double ox = std::max(0.0, std::min(x1, cx1) - std::max(x0, cx0));
+        q[cell_index(i, j, 0)] += density * ox * oy;
+      }
+    }
+  }
+  return q;
+}
+
+std::vector<double> FdmThermalSolver::rhs_for(const std::vector<HeatSource>& sources) const {
+  return surface_power(sources);
+}
+
+FdmThermalSolver::Solution FdmThermalSolver::solve_steady(
+    const std::vector<HeatSource>& sources, const std::vector<double>* warm_start) const {
+  const std::vector<double> rhs = rhs_for(sources);
+  std::span<const double> x0;
+  if (warm_start) {
+    PTHERM_REQUIRE(warm_start->size() == cell_count(), "FDM warm start size mismatch");
+    x0 = *warm_start;
+  }
+  const auto cg = numerics::conjugate_gradient(laplacian_, rhs, opts_.cg, x0);
+  Solution sol;
+  sol.rise = cg.x;
+  sol.cg_iterations = cg.iterations;
+  sol.converged = cg.converged;
+  return sol;
+}
+
+double FdmThermalSolver::surface_rise(const Solution& sol, double x, double y) const {
+  PTHERM_REQUIRE(sol.rise.size() == cell_count(), "surface_rise: field size mismatch");
+  // Bilinear interpolation between top-layer cell centres, clamped at the rim.
+  const double fx = std::clamp(x / dx_ - 0.5, 0.0, static_cast<double>(opts_.nx - 1));
+  const double fy = std::clamp(y / dy_ - 0.5, 0.0, static_cast<double>(opts_.ny - 1));
+  const int i0 = std::min(static_cast<int>(fx), opts_.nx - 2);
+  const int j0 = std::min(static_cast<int>(fy), opts_.ny - 2);
+  const double tx = fx - i0;
+  const double ty = fy - j0;
+  const double t00 = sol.rise[cell_index(i0, j0, 0)];
+  const double t10 = sol.rise[cell_index(i0 + 1, j0, 0)];
+  const double t01 = sol.rise[cell_index(i0, j0 + 1, 0)];
+  const double t11 = sol.rise[cell_index(i0 + 1, j0 + 1, 0)];
+  return (1 - tx) * (1 - ty) * t00 + tx * (1 - ty) * t10 + (1 - tx) * ty * t01 + tx * ty * t11;
+}
+
+int FdmThermalSolver::step_transient(std::vector<double>& rise, double dt,
+                                     const std::vector<HeatSource>& sources) const {
+  PTHERM_REQUIRE(rise.size() == cell_count(), "step_transient: field size mismatch");
+  PTHERM_REQUIRE(dt > 0.0, "step_transient: dt must be positive");
+  // (C/dt * I + A) T^{n+1} = C/dt * T^n + q. The shifted matrix is assembled
+  // per call (assembly is linear-time and dwarfed by CG; callers stepping
+  // thousands of times should cache externally if it ever matters).
+  const std::size_t n = cell_count();
+  numerics::SparseBuilder builder(n, n);
+  const double c_over_dt = cell_capacitance_ / dt;
+  for (std::size_t c = 0; c < n; ++c) builder.add(c, c, c_over_dt);
+  stamp_conduction(builder);
+  const numerics::CsrMatrix shifted(builder);
+  std::vector<double> rhs = rhs_for(sources);
+  for (std::size_t c = 0; c < n; ++c) rhs[c] += c_over_dt * rise[c];
+  const auto cg = numerics::conjugate_gradient(shifted, rhs, opts_.cg, rise);
+  rise = cg.x;
+  return cg.iterations;
+}
+
+}  // namespace ptherm::thermal

@@ -1,0 +1,130 @@
+#include "thermal/images.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::thermal {
+
+ChipThermalModel::ChipThermalModel(Die die, std::vector<HeatSource> sources, ImageOptions opts)
+    : die_(die), sources_(std::move(sources)), opts_(opts) {
+  PTHERM_REQUIRE(die_.width > 0.0 && die_.height > 0.0 && die_.thickness > 0.0,
+                 "ChipThermalModel: degenerate die");
+  PTHERM_REQUIRE(opts_.lateral_order >= 0, "ChipThermalModel: negative image order");
+  PTHERM_REQUIRE(opts_.z_order >= 1, "ChipThermalModel: z_order must be positive");
+  for (const auto& s : sources_) {
+    PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "ChipThermalModel: degenerate source");
+  }
+  rebuild_images();
+}
+
+void ChipThermalModel::rebuild_images() {
+  images_.clear();
+  const int order = opts_.lateral_order;
+  const double wd = die_.width;
+  const double hd = die_.height;
+  for (std::size_t si = 0; si < sources_.size(); ++si) {
+    const HeatSource& s = sources_[si];
+    if (order == 0) {
+      images_.push_back({s, si});
+      continue;
+    }
+    // Mirror lattice for adiabatic walls at x = 0 / x = wd (and same in y):
+    // a source at cx maps to 2*m*wd + cx and 2*m*wd - cx for every m.
+    for (int mx = -order; mx <= order; ++mx) {
+      for (int sx = 0; sx < 2; ++sx) {
+        // Skip duplicates when a source sits exactly on a wall (then +cx and
+        // -cx coincide for every lattice index).
+        if (sx == 1 && s.cx == 0.0) continue;
+        const double cx = 2.0 * mx * wd + (sx == 0 ? s.cx : -s.cx);
+        for (int my = -order; my <= order; ++my) {
+          for (int sy = 0; sy < 2; ++sy) {
+            if (sy == 1 && s.cy == 0.0) continue;
+            const double cy = 2.0 * my * hd + (sy == 0 ? s.cy : -s.cy);
+            HeatSource img = s;
+            img.cx = cx;
+            img.cy = cy;
+            images_.push_back({img, si});
+          }
+        }
+      }
+    }
+  }
+}
+
+double ChipThermalModel::image_rise(const Image& img, double x, double y) const {
+  const double dx = x - img.source.cx;
+  const double dy = y - img.source.cy;
+  const double rho_sq = dx * dx + dy * dy;
+  const double t = die_.thickness;
+  if (opts_.bottom_images) {
+    // With a sink plane at depth t the net field of a source decays like
+    // exp(-pi*rho/(2t)); beyond a few thicknesses it is numerically nothing,
+    // so distant lateral mirrors are skipped outright (this also makes the
+    // lateral-order truncation converge instead of accumulating tails).
+    if (rho_sq > (8.0 * t) * (8.0 * t)) return 0.0;
+  }
+  double rise = rect_rise_min(die_.k_si, img.source, x, y);
+  if (!opts_.bottom_images) return rise;
+  // Alternating z-image series for the isothermal plane at depth t, seen
+  // from the (adiabatic) surface:
+  //   dT = 2 * sum_j (-1)^j * P / (2 pi k sqrt(rho^2 + (2jt)^2)).
+  // Terms use the point kernel (every image is buried >= 2t, far compared to
+  // the source extent). The terms decay slowly for rho >~ t, so the sum is
+  // Euler-accelerated: repeated averaging of the trailing partial sums turns
+  // O(1/J) truncation error into something negligible.
+  const int n_terms = opts_.z_order;
+  constexpr int kTail = 8;
+  double partials[kTail];
+  double series = 0.0;
+  int tail_count = 0;
+  for (int j = 1; j <= n_terms; ++j) {
+    const double depth = 2.0 * j * t;
+    series += 2.0 * ((j % 2 == 1) ? -1.0 : 1.0) *
+              point_source_rise(die_.k_si, img.source.power, std::sqrt(rho_sq + depth * depth));
+    if (j > n_terms - kTail) partials[tail_count++] = series;
+  }
+  // Euler transform on the trailing partial sums.
+  for (int level = tail_count - 1; level > 0; --level) {
+    for (int i = 0; i < level; ++i) partials[i] = 0.5 * (partials[i] + partials[i + 1]);
+  }
+  return rise + (tail_count > 0 ? partials[0] : series);
+}
+
+double ChipThermalModel::rise(double x, double y) const {
+  double sum = 0.0;
+  for (const auto& img : images_) sum += image_rise(img, x, y);
+  return sum;
+}
+
+double ChipThermalModel::temperature(double x, double y) const {
+  return die_.t_sink + rise(x, y);
+}
+
+double ChipThermalModel::source_center_rise(std::size_t i) const {
+  PTHERM_REQUIRE(i < sources_.size(), "source_center_rise: index out of range");
+  return rise(sources_[i].cx, sources_[i].cy);
+}
+
+std::vector<double> ChipThermalModel::surface_map(int nx, int ny) const {
+  PTHERM_REQUIRE(nx >= 2 && ny >= 2, "surface_map: need at least a 2x2 grid");
+  std::vector<double> map(static_cast<std::size_t>(nx) * ny, 0.0);
+  for (int j = 0; j < ny; ++j) {
+    const double y = die_.height * (j + 0.5) / ny;
+    for (int i = 0; i < nx; ++i) {
+      const double x = die_.width * (i + 0.5) / nx;
+      map[static_cast<std::size_t>(j) * nx + i] = temperature(x, y);
+    }
+  }
+  return map;
+}
+
+void ChipThermalModel::set_source_power(std::size_t i, double power) {
+  PTHERM_REQUIRE(i < sources_.size(), "set_source_power: index out of range");
+  sources_[i].power = power;
+  for (auto& img : images_) {
+    if (img.parent == i) img.source.power = power;
+  }
+}
+
+}  // namespace ptherm::thermal

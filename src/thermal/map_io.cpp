@@ -1,0 +1,78 @@
+#include "thermal/map_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ptherm::thermal {
+
+namespace {
+void check(const SurfaceMap& map) {
+  PTHERM_REQUIRE(map.nx >= 1 && map.ny >= 1, "SurfaceMap: empty grid");
+  PTHERM_REQUIRE(map.values.size() == static_cast<std::size_t>(map.nx) * map.ny,
+                 "SurfaceMap: size mismatch");
+}
+}  // namespace
+
+double SurfaceMap::min_value() const {
+  check(*this);
+  return *std::min_element(values.begin(), values.end());
+}
+
+double SurfaceMap::max_value() const {
+  check(*this);
+  return *std::max_element(values.begin(), values.end());
+}
+
+bool write_pgm(const SurfaceMap& map, const std::string& path) {
+  check(map);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const double lo = map.min_value();
+  const double hi = map.max_value();
+  const double span = std::max(hi - lo, 1e-30);
+  out << "P5\n" << map.nx << " " << map.ny << "\n255\n";
+  for (int j = map.ny - 1; j >= 0; --j) {  // row 0 at the image bottom
+    for (int i = 0; i < map.nx; ++i) {
+      const double t = (map.at(i, j) - lo) / span;
+      out.put(static_cast<char>(static_cast<unsigned char>(255.0 * t + 0.5)));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_gnuplot_matrix(const SurfaceMap& map, const std::string& path) {
+  check(map);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# gnuplot: plot '" << path << "' matrix with image\n";
+  for (int j = 0; j < map.ny; ++j) {
+    for (int i = 0; i < map.nx; ++i) {
+      if (i) out << " ";
+      out << map.at(i, j);
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::string render_ascii(const SurfaceMap& map) {
+  check(map);
+  const double lo = map.min_value();
+  const double hi = map.max_value();
+  const double span = std::max(hi - lo, 1e-30);
+  static const char* shades = " .:-=+*#%@";
+  std::string out;
+  out.reserve(static_cast<std::size_t>((map.nx + 1) * map.ny));
+  for (int j = map.ny - 1; j >= 0; --j) {
+    for (int i = 0; i < map.nx; ++i) {
+      const int level = static_cast<int>(9.999 * (map.at(i, j) - lo) / span);
+      out += shades[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ptherm::thermal

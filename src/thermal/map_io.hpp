@@ -1,0 +1,34 @@
+// Thermal-map export: greyscale PGM images (viewable everywhere, zero
+// dependencies) and gnuplot-ready matrix dumps, so benches and examples can
+// hand users the same visual artifact the paper's Figs. 5-7 show.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptherm::thermal {
+
+/// A sampled surface map: row-major, ny rows of nx samples, row 0 at y = 0.
+struct SurfaceMap {
+  int nx = 0;
+  int ny = 0;
+  std::vector<double> values;  ///< temperatures or rises, size nx*ny
+
+  [[nodiscard]] double at(int i, int j) const { return values[static_cast<std::size_t>(j) * nx + i]; }
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+};
+
+/// Writes an 8-bit binary PGM, mapping [min, max] linearly to [0, 255]
+/// (hotter = brighter). Row 0 of the map is written at the image bottom so
+/// the picture matches the die's coordinate system. Returns false if the
+/// file cannot be opened.
+bool write_pgm(const SurfaceMap& map, const std::string& path);
+
+/// Writes a gnuplot "matrix" file (`plot 'f' matrix with image`).
+bool write_gnuplot_matrix(const SurfaceMap& map, const std::string& path);
+
+/// ASCII isotherm rendering with 10 shade levels (what the benches print).
+std::string render_ascii(const SurfaceMap& map);
+
+}  // namespace ptherm::thermal

@@ -1,0 +1,75 @@
+// Compact thermal RC for single devices: the paper's Fig. 9/10 experiment.
+//
+// The measurement chops a transistor ON/OFF at 3 Hz and watches the drain
+// current (linear in temperature for small excursions) charge the device's
+// thermal capacitance; the thermal resistance is Rth = dT_steady / P. We
+// rebuild the experiment: Rth comes from the analytic centre-rise model
+// (Eq. 18, plus the sink-plane image), Cth from a lumped heated volume, and
+// the transient integrates the electro-thermal feedback
+//   Cth dT'/dt = P(T) * chop(t) - T'/Rth,  P(T) = V*I0*(1 - tc*(T - Tamb)).
+#pragma once
+
+#include <vector>
+
+#include "thermal/analytic.hpp"
+
+namespace ptherm::thermal {
+
+/// Lumped thermal resistance + capacitance of one device.
+struct ThermalRc {
+  double r_th = 0.0;  ///< [K/W]
+  double c_th = 0.0;  ///< [J/K]
+  [[nodiscard]] double tau() const noexcept { return r_th * c_th; }
+};
+
+/// Analytic Rth of a W x L surface source on a substrate of thickness
+/// `thickness`: centre rise per watt (Eq. 18) minus the buried -P image's
+/// contribution (isothermal sink plane).
+[[nodiscard]] double device_r_th(double k_si, double w, double l, double thickness) noexcept;
+
+/// Lumped Cth: heat capacity of a hemisphere of radius `radius_fraction *
+/// thickness` — the substrate volume that participates at the chopping time
+/// scale. The default fraction (0.3) makes the single-pole time constant of
+/// a micron-scale device a few tens of milliseconds on a 500 um substrate,
+/// consistent with the visibly saturating exponentials of the paper's 3 Hz
+/// chopping experiment (Fig. 9). It is a *fit*, as any single-pole model of
+/// a distributed diffusion is.
+[[nodiscard]] double device_c_th(double cv_si, double thickness,
+                                 double radius_fraction = 0.3) noexcept;
+
+[[nodiscard]] ThermalRc device_thermal_rc(double k_si, double cv_si, double w, double l,
+                                          double thickness);
+
+/// Electro-thermal chopping experiment (Fig. 9).
+struct SelfHeatingConfig {
+  ThermalRc rc;
+  double t_ambient = 303.15;   ///< [K]
+  double v_drain = 3.3;        ///< drain bias while ON [V]
+  double i_on_ref = 3.0e-3;    ///< ON current at T = ambient [A]
+  double tc_current = 2.0e-3;  ///< fractional current drop per kelvin [1/K]
+  double r_sense = 100.0;      ///< series sense resistor [ohm]
+  double f_chop = 3.0;         ///< chopping frequency [Hz]
+  double duty = 0.5;
+  double t_stop = 1.0;         ///< [s]
+  double dt = 1e-4;            ///< [s]
+};
+
+struct SelfHeatingTrace {
+  std::vector<double> time;     ///< [s]
+  std::vector<double> temp;     ///< device temperature [K]
+  std::vector<double> current;  ///< drain current (0 when chopped off) [A]
+  std::vector<double> v_sense;  ///< oscilloscope signal I * Rsense [V]
+
+  /// Steady-state temperature rise extrapolated from the ON phases
+  /// (max recorded rise; with t_stop >> tau this is the plateau).
+  [[nodiscard]] double max_rise(double t_ambient) const;
+};
+
+/// Runs the chopped self-heating transient with RK4.
+[[nodiscard]] SelfHeatingTrace run_self_heating(const SelfHeatingConfig& cfg);
+
+/// Rth extraction exactly as the measurement does it: steady rise of the ON
+/// phase divided by the dissipated power at that temperature.
+[[nodiscard]] double extract_r_th(const SelfHeatingConfig& cfg, const SelfHeatingTrace& trace);
+
+}  // namespace ptherm::thermal

@@ -1,0 +1,185 @@
+// Unit tests for common/: constants, tables, RNG and statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace ptherm {
+namespace {
+
+TEST(Constants, ThermalVoltageAt300K) {
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+TEST(Constants, ThermalVoltageScalesLinearly) {
+  EXPECT_DOUBLE_EQ(thermal_voltage(600.0), 2.0 * thermal_voltage(300.0));
+}
+
+TEST(Constants, CelsiusRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius(25.0), 298.15);
+  EXPECT_DOUBLE_EQ(to_celsius(celsius(85.0)), 85.0);
+}
+
+TEST(Constants, UnitMultipliers) {
+  EXPECT_DOUBLE_EQ(3.0 * um, 3e-6);
+  EXPECT_DOUBLE_EQ(2.0 * mW, 2e-3);
+  EXPECT_DOUBLE_EQ(1.5 * GHz, 1.5e9);
+}
+
+TEST(Table, RejectsRowsBeforeColumns) {
+  Table t("x");
+  EXPECT_THROW(t.add_row({1.0}), PreconditionError);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t;
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), PreconditionError);
+}
+
+TEST(Table, StoresAndReadsValues) {
+  Table t;
+  t.set_columns({"a", "b"});
+  t.add_row({1.5, std::string("x")});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.value(0, 0), 1.5);
+  EXPECT_THROW((void)t.value(0, 1), PreconditionError);  // string cell
+  EXPECT_THROW((void)t.value(1, 0), PreconditionError);  // out of range
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t("demo");
+  t.set_columns({"col"});
+  t.add_row({2.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("col"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.set_columns({"name"});
+  t.add_row({std::string("a,b\"c")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\"\"c\""), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsFormatting) {
+  Table t;
+  t.set_columns({"v"});
+  t.add_row({1.23456789});
+  t.set_precision(3);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(os.str().find("1.2345"), std::string::npos);
+  EXPECT_THROW(t.set_precision(0), PreconditionError);
+}
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliTracksProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Stats, CompareSeriesExactMatch) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  const auto s = compare_series(xs, xs);
+  EXPECT_DOUBLE_EQ(s.max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(s.rms, 0.0);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(Stats, CompareSeriesKnownError) {
+  const double model[] = {1.1, 2.0};
+  const double ref[] = {1.0, 2.0};
+  const auto s = compare_series(model, ref);
+  EXPECT_NEAR(s.max_abs, 0.1, 1e-12);
+  EXPECT_NEAR(s.max_rel, 0.1, 1e-12);
+  EXPECT_NEAR(s.rms, 0.1 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, CompareSeriesSizeMismatchThrows) {
+  const double a[] = {1.0};
+  const double b[] = {1.0, 2.0};
+  EXPECT_THROW((void)compare_series(a, b), PreconditionError);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRejectsDegenerateInput) {
+  const double xs[] = {1.0, 1.0};
+  const double ys[] = {1.0, 2.0};
+  EXPECT_THROW((void)linear_fit(xs, ys), PreconditionError);
+  const double one[] = {1.0};
+  EXPECT_THROW((void)linear_fit(one, one), PreconditionError);
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    PTHERM_REQUIRE(1 == 2, "custom message");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ptherm

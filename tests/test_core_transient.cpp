@@ -1,0 +1,152 @@
+// Tests for the transient electro-thermal co-simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/cosim.hpp"
+#include "core/transient.hpp"
+#include "floorplan/generators.hpp"
+
+namespace ptherm::core {
+namespace {
+
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+thermal::Die die_1mm() {
+  thermal::Die d;
+  d.width = 1e-3;
+  d.height = 1e-3;
+  d.thickness = 350e-6;
+  d.k_si = 148.0;
+  d.t_sink = 318.15;
+  return d;
+}
+
+floorplan::Floorplan small_plan(double p_total = 3.0) {
+  Rng rng(77);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = p_total;
+  cfg.gates_per_mm2 = 1e5;
+  return floorplan::make_uniform_grid(tech(), die_1mm(), 2, 2, cfg, rng);
+}
+
+TransientCosimOptions fast_opts() {
+  TransientCosimOptions opts;
+  opts.fdm.nx = 16;
+  opts.fdm.ny = 16;
+  opts.fdm.nz = 10;
+  opts.dt = 2e-4;
+  opts.t_stop = 12e-3;
+  return opts;
+}
+
+ActivityProfile constant_activity() {
+  return [](std::size_t, double) { return 1.0; };
+}
+
+TEST(TransientCosim, HeatsMonotonicallyUnderConstantPower) {
+  const auto fp = small_plan();
+  const auto r = solve_transient_cosim(tech(), fp, constant_activity(), fast_opts());
+  ASSERT_GT(r.times.size(), 10u);
+  for (std::size_t k = 1; k < r.times.size(); ++k) {
+    for (std::size_t i = 0; i < r.block_temps[k].size(); ++i) {
+      EXPECT_GE(r.block_temps[k][i], r.block_temps[k - 1][i] - 1e-9)
+          << "step " << k << " block " << i;
+    }
+  }
+  EXPECT_GT(r.peak_temperature(), die_1mm().t_sink + 1.0);
+}
+
+TEST(TransientCosim, ApproachesSteadyCosimResult) {
+  // Long transient under constant activity must land on the steady
+  // concurrent solve (FDM backend, same grid).
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.t_stop = 60e-3;  // >> die time constant (~1.3 ms) and block scale
+  const auto r = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+
+  CosimOptions sopts;
+  sopts.backend = ThermalBackend::Fdm;
+  sopts.fdm = opts.fdm;
+  ElectroThermalSolver steady(tech(), fp, sopts);
+  const auto s = steady.solve();
+  ASSERT_TRUE(s.converged);
+  for (std::size_t i = 0; i < s.blocks.size(); ++i) {
+    EXPECT_NEAR(r.block_temps.back()[i], s.blocks[i].temperature, 0.2)
+        << "block " << i;
+  }
+}
+
+TEST(TransientCosim, LeakageGrowsAsDieHeats) {
+  const auto fp = small_plan(5.0);
+  const auto r = solve_transient_cosim(tech(), fp, constant_activity(), fast_opts());
+  EXPECT_GT(r.leakage_power.back(), r.leakage_power.front());
+}
+
+TEST(TransientCosim, PowerStepShowsThermalLag) {
+  // Activity steps from 0.2 to 1.0 at t = 4 ms: power jumps instantly, the
+  // temperature follows with the substrate's time constant.
+  const auto fp = small_plan(4.0);
+  auto opts = fast_opts();
+  opts.t_stop = 16e-3;
+  ActivityProfile step = [](std::size_t, double t) { return t < 4e-3 ? 0.2 : 1.0; };
+  const auto r = solve_transient_cosim(tech(), fp, step, opts);
+
+  // Find the step index.
+  std::size_t k_step = 0;
+  for (std::size_t k = 1; k < r.times.size(); ++k) {
+    if (r.dynamic_power[k] > 2.0 * r.dynamic_power[k - 1]) {
+      k_step = k;
+      break;
+    }
+  }
+  ASSERT_GT(k_step, 0u);
+  // Dynamic power is discontinuous; temperature is not: one step after the
+  // jump the block has covered only a fraction of its eventual excursion.
+  const double t_before = r.block_temps[k_step - 1][0];
+  const double t_after = r.block_temps[k_step][0];
+  const double t_final = r.block_temps.back()[0];
+  ASSERT_GT(t_final, t_before + 1.0);
+  EXPECT_LT(t_after - t_before, 0.5 * (t_final - t_before));
+  EXPECT_GT(t_final, t_after + 1.0);
+}
+
+TEST(TransientCosim, CoolingPhaseDecays) {
+  const auto fp = small_plan(4.0);
+  auto opts = fast_opts();
+  opts.t_stop = 16e-3;
+  ActivityProfile pulse = [](std::size_t, double t) { return t < 6e-3 ? 1.0 : 0.0; };
+  const auto r = solve_transient_cosim(tech(), fp, pulse, opts);
+  const double peak = r.peak_temperature();
+  const double final_t = r.block_temps.back()[0];
+  EXPECT_LT(final_t, peak - 0.5);
+}
+
+TEST(TransientCosim, RecordEveryThinsTheTrace) {
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  const auto dense = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+  opts.record_every = 5;
+  const auto sparse = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+  EXPECT_LT(sparse.times.size(), dense.times.size());
+  // Same final state regardless of recording cadence.
+  EXPECT_NEAR(sparse.block_temps.back()[0], dense.block_temps.back()[0], 1e-9);
+}
+
+TEST(TransientCosim, RejectsBadConfiguration) {
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.dt = 0.0;
+  EXPECT_THROW(solve_transient_cosim(tech(), fp, constant_activity(), opts),
+               PreconditionError);
+  opts = fast_opts();
+  EXPECT_THROW(solve_transient_cosim(tech(), fp, ActivityProfile{}, opts),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ptherm::core

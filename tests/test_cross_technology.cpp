@@ -1,0 +1,112 @@
+// Cross-technology property sweeps: the collapse model and the thermal
+// kernels must hold on every process descriptor the library ships (the
+// 0.12 um and 0.35 um presets and the scaled roadmap nodes), not just the
+// node they were developed on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.hpp"
+#include "device/tech.hpp"
+#include "leakage/collapse.hpp"
+#include "leakage/exact_stack.hpp"
+#include "thermal/analytic.hpp"
+
+namespace ptherm {
+namespace {
+
+using device::MosType;
+using device::Technology;
+
+std::vector<Technology> all_technologies() {
+  std::vector<Technology> techs = {Technology::cmos012(), Technology::cmos035()};
+  for (double f : {0.25, 0.13, 0.07, 0.035}) techs.push_back(Technology::scaled_node(f));
+  return techs;
+}
+
+class TechnologySweep : public ::testing::TestWithParam<int> {
+ protected:
+  Technology tech_ = all_technologies()[static_cast<std::size_t>(GetParam())];
+};
+
+TEST_P(TechnologySweep, CollapseTracksExactOnEveryProcess) {
+  for (int n = 2; n <= 4; ++n) {
+    const std::vector<double> widths(n, 4.0 * tech_.w_min);
+    const auto exact =
+        leakage::solve_exact_chain(tech_, MosType::Nmos, widths, tech_.l_drawn, 300.0);
+    const double blend =
+        leakage::chain_off_current(tech_, MosType::Nmos, widths, tech_.l_drawn, 300.0);
+    EXPECT_NEAR(blend / exact.current, 1.0, 0.12)
+        << tech_.name << " stack " << n;
+    const double refined = leakage::chain_off_current(
+        tech_, MosType::Nmos, widths, tech_.l_drawn, 300.0, 0.0,
+        leakage::CollapseVariant::Refined);
+    EXPECT_NEAR(refined / exact.current, 1.0, 0.04) << tech_.name << " stack " << n;
+  }
+}
+
+TEST_P(TechnologySweep, StackEffectOrderedOnEveryProcess) {
+  double prev = 1e9;
+  for (int n = 1; n <= 5; ++n) {
+    const double i = leakage::stack_off_current(tech_, MosType::Nmos, 4.0 * tech_.w_min,
+                                                tech_.l_drawn, n, 300.0);
+    EXPECT_LT(i, prev) << tech_.name << " n=" << n;
+    prev = i;
+  }
+}
+
+TEST_P(TechnologySweep, TemperatureMonotoneOnEveryProcess) {
+  double prev = 0.0;
+  for (double t = 280.0; t <= 420.0; t += 20.0) {
+    const double i = leakage::stack_off_current(tech_, MosType::Nmos, 4.0 * tech_.w_min,
+                                                tech_.l_drawn, 2, t);
+    EXPECT_GT(i, prev) << tech_.name << " T=" << t;
+    prev = i;
+  }
+}
+
+TEST_P(TechnologySweep, PmosNmosBothPositiveAndFinite) {
+  for (MosType type : {MosType::Nmos, MosType::Pmos}) {
+    const double i = leakage::stack_off_current(tech_, type, 4.0 * tech_.w_min,
+                                                tech_.l_drawn, 3, 330.0);
+    EXPECT_GT(i, 0.0);
+    EXPECT_TRUE(std::isfinite(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProcesses, TechnologySweep, ::testing::Range(0, 6));
+
+// ---- thermal kernels across aspect ratios -------------------------------
+
+class AspectRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AspectRatioSweep, ExactKernelMatchesQuadrature) {
+  const double aspect = GetParam();
+  const thermal::HeatSource src{0.0, 0.0, 1e-6 * aspect, 1e-6, 1e-3};
+  for (const auto& [x, y] : {std::pair{0.0, 0.0}, std::pair{2e-6, 1e-6},
+                             std::pair{0.5e-6 * aspect, 0.0}}) {
+    const double exact = thermal::rect_rise_exact(148.0, src, x, y);
+    const double quad = thermal::rect_rise_quadrature(148.0, src, x, y);
+    EXPECT_NEAR(exact / quad, 1.0, 5e-3) << "aspect " << aspect;
+  }
+}
+
+TEST_P(AspectRatioSweep, MinEstimatorBoundedAndFarFieldExact) {
+  const double aspect = GetParam();
+  const thermal::HeatSource src{0.0, 0.0, 1e-6 * aspect, 1e-6, 1e-3};
+  const double t0 = thermal::rect_center_rise(148.0, src.power, src.w, src.l);
+  const double far = 20e-6 * std::max(1.0, aspect);
+  EXPECT_LE(thermal::rect_rise_min(148.0, src, 0.0, 0.0), t0 + 1e-15);
+  EXPECT_NEAR(thermal::rect_rise_min(148.0, src, far, 0.0) /
+                  thermal::rect_rise_exact(148.0, src, far, 0.0),
+              1.0, 0.02)
+      << "aspect " << aspect;
+}
+
+INSTANTIATE_TEST_SUITE_P(Aspects, AspectRatioSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 40.0));
+
+}  // namespace
+}  // namespace ptherm

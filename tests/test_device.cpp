@@ -1,0 +1,199 @@
+// Tests for the Eq. (1)/(2) device models and the technology factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "device/mosfet.hpp"
+#include "device/tech.hpp"
+
+namespace ptherm::device {
+namespace {
+
+Technology tech() { return Technology::cmos012(); }
+
+TEST(ThresholdVoltage, ZeroBiasAtReference) {
+  // At VDS = VDD, VSB = 0, T = Tref the threshold is exactly VT0 (the DIBL
+  // term of Eq. 2 vanishes at full drain bias).
+  BiasPoint b;
+  b.vds = tech().vdd;
+  b.vsb = 0.0;
+  b.temp = tech().t_ref;
+  EXPECT_DOUBLE_EQ(threshold_voltage(tech(), MosType::Nmos, b), tech().vt0_n);
+  EXPECT_DOUBLE_EQ(threshold_voltage(tech(), MosType::Pmos, b), tech().vt0_p);
+}
+
+TEST(ThresholdVoltage, BodyEffectRaisesVth) {
+  BiasPoint b;
+  b.vds = tech().vdd;
+  b.temp = tech().t_ref;
+  b.vsb = 0.0;
+  const double v0 = threshold_voltage(tech(), MosType::Nmos, b);
+  b.vsb = 0.3;
+  const double v1 = threshold_voltage(tech(), MosType::Nmos, b);
+  EXPECT_NEAR(v1 - v0, tech().gamma_lin * 0.3, 1e-12);
+}
+
+TEST(ThresholdVoltage, DiblLowersVthAtHighVds) {
+  BiasPoint b;
+  b.temp = tech().t_ref;
+  b.vds = 0.0;
+  const double v_low = threshold_voltage(tech(), MosType::Nmos, b);
+  b.vds = tech().vdd;
+  const double v_high = threshold_voltage(tech(), MosType::Nmos, b);
+  EXPECT_LT(v_high, v_low);
+  EXPECT_NEAR(v_low - v_high, tech().sigma_dibl * tech().vdd, 1e-12);
+}
+
+TEST(ThresholdVoltage, DropsWithTemperature) {
+  BiasPoint b;
+  b.vds = tech().vdd;
+  b.temp = tech().t_ref;
+  const double v0 = threshold_voltage(tech(), MosType::Nmos, b);
+  b.temp = tech().t_ref + 100.0;
+  const double v1 = threshold_voltage(tech(), MosType::Nmos, b);
+  EXPECT_NEAR(v0 - v1, -tech().k_t * 100.0, 1e-12);
+  EXPECT_LT(v1, v0);  // k_t is negative
+}
+
+TEST(Subthreshold, SlopeMatchesSwingFactor) {
+  // d(log10 I)/dVGS must equal 1/(n VT ln 10).
+  BiasPoint b;
+  b.vds = tech().vdd;
+  b.temp = 300.0;
+  b.vgs = 0.0;
+  const double i0 = subthreshold_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, b);
+  b.vgs = 0.1;
+  const double i1 = subthreshold_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, b);
+  const double decades = std::log10(i1 / i0);
+  const double swing_mv_per_dec = 100.0 / decades;
+  const double expected = tech().n_swing * thermal_voltage(300.0) * std::log(10.0) * 1e3;
+  EXPECT_NEAR(swing_mv_per_dec, expected, 0.05);
+}
+
+TEST(Subthreshold, LinearInWidthInverseInLength) {
+  BiasPoint b;
+  b.vds = tech().vdd;
+  b.temp = 300.0;
+  const double base = subthreshold_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, b);
+  EXPECT_NEAR(subthreshold_current(tech(), MosType::Nmos, 2e-6, 0.12e-6, b), 2.0 * base,
+              1e-18);
+  EXPECT_NEAR(subthreshold_current(tech(), MosType::Nmos, 1e-6, 0.24e-6, b), 0.5 * base,
+              1e-18);
+}
+
+TEST(Subthreshold, DrainFactorKillsCurrentAtZeroVds) {
+  BiasPoint b;
+  b.vds = 0.0;
+  b.temp = 300.0;
+  EXPECT_DOUBLE_EQ(subthreshold_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, b), 0.0);
+}
+
+TEST(Subthreshold, CurrentGrowsStronglyWithTemperature) {
+  const double i_300 = off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 300.0);
+  const double i_400 = off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 400.0);
+  // Exponential VTH(T) + VT(T) effects: typically 20-60x per 100 K here.
+  EXPECT_GT(i_400 / i_300, 10.0);
+  EXPECT_LT(i_400 / i_300, 200.0);
+}
+
+TEST(Subthreshold, OffCurrentMagnitudeIsRealistic) {
+  // ~nA/um class device at room temperature for this technology.
+  const double i = off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 300.0);
+  EXPECT_GT(i, 1e-10);
+  EXPECT_LT(i, 1e-8);
+}
+
+TEST(MosModel, PmosMirrorsNmos) {
+  // A pMOS with source at VDD and gate at 0 conducts; current flows from
+  // source (VDD) to drain, i.e. ids (drain->source) is negative.
+  MosModel p(tech(), MosType::Pmos, 1e-6, 0.12e-6);
+  const double i = p.ids(/*vg=*/0.0, /*vd=*/0.6, /*vs=*/1.2, /*vb=*/1.2, 300.0);
+  EXPECT_LT(i, 0.0);
+  // OFF pMOS (gate at VDD): tiny magnitude.
+  const double i_off = p.ids(1.2, 0.0, 1.2, 1.2, 300.0);
+  EXPECT_LT(std::abs(i_off), 1e-8);
+  EXPECT_LT(i_off, 0.0);
+}
+
+TEST(MosModel, TerminalSwapFlipsSign) {
+  MosModel nmos(tech(), MosType::Nmos, 1e-6, 0.12e-6);
+  const double fwd = nmos.ids(1.2, 1.2, 0.0, 0.0, 300.0);
+  const double rev = nmos.ids(1.2, 0.0, 1.2, 0.0, 300.0);
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_LT(rev, 0.0);
+}
+
+TEST(MosModel, OnCurrentFarExceedsOffCurrent) {
+  MosModel nmos(tech(), MosType::Nmos, 1e-6, 0.12e-6);
+  const double on = nmos.ids(1.2, 1.2, 0.0, 0.0, 300.0);
+  const double off = nmos.ids(0.0, 1.2, 0.0, 0.0, 300.0);
+  EXPECT_GT(on / off, 1e4);
+}
+
+TEST(MosModel, ContinuousAcrossBlendWindow) {
+  // Sweep VGS through the subthreshold/strong-inversion blend and require
+  // the log-current to move smoothly (no jumps bigger than the slope times
+  // the step).
+  MosModel nmos(tech(), MosType::Nmos, 1e-6, 0.12e-6);
+  double prev = std::log(nmos.ids(0.0, 1.2, 0.0, 0.0, 300.0));
+  for (double vg = 0.005; vg <= 1.2; vg += 0.005) {
+    const double cur = std::log(nmos.ids(vg, 1.2, 0.0, 0.0, 300.0));
+    EXPECT_GT(cur, prev - 1e-9) << "log-current not monotone at vg=" << vg;
+    EXPECT_LT(cur - prev, 0.3) << "log-current jump at vg=" << vg;
+    prev = cur;
+  }
+}
+
+TEST(MosModel, SubthresholdRegionMatchesEquationOne) {
+  // Below the blend window the full model must be *exactly* Eq. (1).
+  MosModel nmos(tech(), MosType::Nmos, 1e-6, 0.12e-6);
+  BiasPoint b;
+  b.vgs = 0.05;
+  b.vds = 1.2;
+  b.temp = 330.0;
+  const double direct = subthreshold_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, b);
+  const double model = nmos.ids(0.05, 1.2, 0.0, 0.0, 330.0);
+  EXPECT_DOUBLE_EQ(model, direct);
+}
+
+TEST(MosModel, RejectsBadGeometry) {
+  EXPECT_THROW(MosModel(tech(), MosType::Nmos, 0.0, 0.12e-6), PreconditionError);
+  EXPECT_THROW(MosModel(tech(), MosType::Nmos, 1e-6, -1.0), PreconditionError);
+}
+
+TEST(Technology, FactoriesAreSane) {
+  const auto t12 = Technology::cmos012();
+  EXPECT_EQ(t12.name, "cmos012");
+  EXPECT_GT(t12.vdd, t12.vt0_n);
+  const auto t35 = Technology::cmos035();
+  EXPECT_GT(t35.vdd, t12.vdd);
+  EXPECT_GT(t35.vt0_n, t12.vt0_n);
+  EXPECT_GT(t35.l_drawn, t12.l_drawn);
+}
+
+TEST(Technology, ScaledNodesTrendCorrectly) {
+  const auto big = Technology::scaled_node(0.8);
+  const auto mid = Technology::scaled_node(0.13);
+  const auto tiny = Technology::scaled_node(0.025);
+  EXPECT_GT(big.vdd, mid.vdd);
+  EXPECT_GT(mid.vdd, tiny.vdd);
+  EXPECT_GT(big.vt0_n, mid.vt0_n);
+  EXPECT_GE(mid.vt0_n, tiny.vt0_n);
+  EXPECT_LT(big.sigma_dibl, tiny.sigma_dibl);  // DIBL worsens when scaling
+  EXPECT_THROW(Technology::scaled_node(5.0), PreconditionError);
+}
+
+TEST(Technology, ScaledLeakageExplodesAcrossRoadmap) {
+  // The premise of the paper's Fig. 1: per-device OFF current rises by
+  // orders of magnitude from 0.8 um to 25 nm.
+  const auto big = Technology::scaled_node(0.8);
+  const auto tiny = Technology::scaled_node(0.025);
+  const double i_big = off_current(big, MosType::Nmos, big.w_min, big.l_drawn, 300.0);
+  const double i_tiny = off_current(tiny, MosType::Nmos, tiny.w_min, tiny.l_drawn, 300.0);
+  EXPECT_GT(i_tiny / i_big, 1e3);
+}
+
+}  // namespace
+}  // namespace ptherm::device

@@ -1,0 +1,186 @@
+// Tests for floorplan geometry, block leakage aggregation, and the synthetic
+// power-map generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "floorplan/floorplan.hpp"
+#include "floorplan/generators.hpp"
+#include "netlist/cells.hpp"
+
+namespace ptherm::floorplan {
+namespace {
+
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+thermal::Die die_1mm() {
+  thermal::Die d;
+  d.width = 1e-3;
+  d.height = 1e-3;
+  return d;
+}
+
+TEST(Rect, GeometryHelpers) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.cx(), 2.5);
+  EXPECT_DOUBLE_EQ(r.cy(), 4.0);
+  EXPECT_TRUE(r.contains(1.0, 2.0));
+  EXPECT_FALSE(r.contains(4.0, 2.0));  // half-open
+  EXPECT_TRUE(r.overlaps({3.9, 5.9, 1.0, 1.0}));
+  EXPECT_FALSE(r.overlaps({4.0, 2.0, 1.0, 1.0}));  // touching edges don't overlap
+}
+
+TEST(Floorplan, RejectsBlocksOutsideDieOrOverlapping) {
+  Floorplan fp(die_1mm());
+  Block a;
+  a.name = "a";
+  a.rect = {0.1e-3, 0.1e-3, 0.3e-3, 0.3e-3};
+  fp.add_block(a);
+  Block outside;
+  outside.name = "out";
+  outside.rect = {0.9e-3, 0.9e-3, 0.3e-3, 0.3e-3};
+  EXPECT_THROW(fp.add_block(outside), PreconditionError);
+  Block overlapping;
+  overlapping.name = "ovl";
+  overlapping.rect = {0.2e-3, 0.2e-3, 0.3e-3, 0.3e-3};
+  EXPECT_THROW(fp.add_block(overlapping), PreconditionError);
+  Block degenerate;
+  degenerate.name = "deg";
+  degenerate.rect = {0.5e-3, 0.5e-3, 0.0, 0.1e-3};
+  EXPECT_THROW(fp.add_block(degenerate), PreconditionError);
+}
+
+TEST(Block, LeakageScalesWithGateCount) {
+  const netlist::CellLibrary lib(tech());
+  Block b;
+  b.name = "b";
+  b.rect = {0.0, 0.0, 0.1e-3, 0.1e-3};
+  b.gate_groups.push_back({lib.find("nand2"), {false, false}, 100.0});
+  const double i100 = b.leakage_current(tech(), 300.0);
+  b.gate_groups[0].count = 200.0;
+  const double i200 = b.leakage_current(tech(), 300.0);
+  EXPECT_NEAR(i200 / i100, 2.0, 1e-12);
+  EXPECT_GT(i100, 0.0);
+}
+
+TEST(Block, LeakageGrowsExponentiallyWithTemperature) {
+  const netlist::CellLibrary lib(tech());
+  Block b;
+  b.name = "b";
+  b.rect = {0.0, 0.0, 0.1e-3, 0.1e-3};
+  b.gate_groups.push_back({lib.find("inv"), {false}, 1000.0});
+  const double cold = b.leakage_power(tech(), 300.0);
+  const double hot = b.leakage_power(tech(), 380.0);
+  EXPECT_GT(hot / cold, 5.0);
+}
+
+TEST(Block, TotalPowerSumsComponents) {
+  const netlist::CellLibrary lib(tech());
+  Block b;
+  b.name = "b";
+  b.rect = {0.0, 0.0, 0.1e-3, 0.1e-3};
+  b.p_dynamic = 0.5;
+  b.gate_groups.push_back({lib.find("inv"), {true}, 500.0});
+  EXPECT_DOUBLE_EQ(b.total_power(tech(), 320.0),
+                   0.5 + b.leakage_power(tech(), 320.0));
+}
+
+TEST(Floorplan, HeatSourcesCarryBlockGeometryAndPower) {
+  Floorplan fp(die_1mm());
+  Block b;
+  b.name = "b";
+  b.rect = {0.2e-3, 0.3e-3, 0.1e-3, 0.2e-3};
+  b.p_dynamic = 0.7;
+  fp.add_block(b);
+  const auto sources = fp.heat_sources(tech());
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_DOUBLE_EQ(sources[0].cx, 0.25e-3);
+  EXPECT_DOUBLE_EQ(sources[0].cy, 0.4e-3);
+  EXPECT_DOUBLE_EQ(sources[0].w, 0.1e-3);
+  EXPECT_DOUBLE_EQ(sources[0].l, 0.2e-3);
+  EXPECT_DOUBLE_EQ(sources[0].power, 0.7);  // dynamic only without temps
+}
+
+TEST(Floorplan, HeatSourcesWithTemperaturesIncludeLeakage) {
+  const netlist::CellLibrary lib(tech());
+  Floorplan fp(die_1mm());
+  Block b;
+  b.name = "b";
+  b.rect = {0.2e-3, 0.3e-3, 0.1e-3, 0.2e-3};
+  b.p_dynamic = 0.7;
+  b.gate_groups.push_back({lib.find("inv"), {false}, 1e6});
+  fp.add_block(b);
+  const auto sources = fp.heat_sources(tech(), {350.0});
+  EXPECT_GT(sources[0].power, 0.7);
+  EXPECT_THROW(fp.heat_sources(tech(), {350.0, 360.0}), PreconditionError);
+}
+
+TEST(Generators, UniformGridTilesAreDisjointAndOnBudget) {
+  Rng rng(3);
+  GeneratorConfig cfg;
+  cfg.total_dynamic_power = 12.0;
+  const auto fp = make_uniform_grid(tech(), die_1mm(), 4, 3, cfg, rng);
+  EXPECT_EQ(fp.blocks().size(), 12u);
+  EXPECT_NEAR(fp.total_dynamic_power(), 12.0, 1e-9);
+  for (const auto& b : fp.blocks()) {
+    EXPECT_FALSE(b.gate_groups.empty());
+  }
+}
+
+TEST(Generators, HotspotMapPlacesRequestedHotspots) {
+  Rng rng(17);
+  GeneratorConfig cfg;
+  cfg.total_dynamic_power = 10.0;
+  const auto fp = make_hotspot_map(tech(), die_1mm(), 3, 0.5, cfg, rng);
+  int hot = 0;
+  for (const auto& b : fp.blocks()) {
+    if (b.name.rfind("hotspot_", 0) == 0) ++hot;
+  }
+  EXPECT_EQ(hot, 3);
+  EXPECT_NEAR(fp.total_dynamic_power(), 10.0, 1e-9);
+  EXPECT_THROW(make_hotspot_map(tech(), die_1mm(), 3, 1.5, cfg, rng), PreconditionError);
+}
+
+TEST(Generators, CheckerboardAlternatesActivity) {
+  Rng rng(5);
+  GeneratorConfig cfg;
+  cfg.total_dynamic_power = 8.0;
+  const auto fp = make_checkerboard(tech(), die_1mm(), 4, 4, cfg, rng);
+  ASSERT_EQ(fp.blocks().size(), 16u);
+  int active = 0, idle = 0;
+  for (const auto& b : fp.blocks()) {
+    if (b.p_dynamic > 0.0) ++active;
+    else ++idle;
+  }
+  EXPECT_EQ(active, 8);
+  EXPECT_EQ(idle, 8);
+  EXPECT_NEAR(fp.total_dynamic_power(), 8.0, 1e-9);
+  // Idle tiles still have a leakage population.
+  for (const auto& b : fp.blocks()) EXPECT_FALSE(b.gate_groups.empty());
+}
+
+TEST(Generators, ThreeBlockIcMatchesFig6Setup) {
+  const auto fp = make_three_block_ic(tech(), die_1mm(), 0.3, 0.2, 0.1);
+  ASSERT_EQ(fp.blocks().size(), 3u);
+  EXPECT_NEAR(fp.total_dynamic_power(), 0.6, 1e-12);
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+  GeneratorConfig cfg;
+  Rng r1(42), r2(42);
+  const auto a = make_hotspot_map(tech(), die_1mm(), 2, 0.4, cfg, r1);
+  const auto b = make_hotspot_map(tech(), die_1mm(), 2, 0.4, cfg, r2);
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.blocks()[i].rect.x, b.blocks()[i].rect.x);
+    EXPECT_DOUBLE_EQ(a.blocks()[i].rect.y, b.blocks()[i].rect.y);
+  }
+}
+
+}  // namespace
+}  // namespace ptherm::floorplan

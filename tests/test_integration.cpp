@@ -1,0 +1,175 @@
+// Cross-module integration tests: the compact gate model against the full
+// MNA circuit solver, netlist-to-floorplan-to-cosim end to end, and the
+// paper's headline speed ordering.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/cosim.hpp"
+#include "device/mosfet.hpp"
+#include "floorplan/generators.hpp"
+#include "leakage/gate.hpp"
+#include "netlist/cells.hpp"
+#include "netlist/netlist.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+
+namespace ptherm {
+namespace {
+
+using device::MosModel;
+using device::MosType;
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+/// Builds the full transistor-level NAND2 circuit for one static input
+/// vector and returns the supply leakage current from an MNA solve.
+double nand2_spice_leakage(bool a, bool b, double temp) {
+  const Technology t = tech();
+  const auto sizing = netlist::CellSizing::for_tech(t);
+  spice::Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto na = ckt.node("a");
+  const auto nb = ckt.node("b");
+  const auto out = ckt.node("out");
+  const auto mid = ckt.node("mid");
+  ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), t.vdd);
+  ckt.add_vsource("VA", na, spice::Circuit::ground(), a ? t.vdd : 0.0);
+  ckt.add_vsource("VB", nb, spice::Circuit::ground(), b ? t.vdd : 0.0);
+  // Pull-down stack: input a at the bottom, b on top (matches make_nand).
+  const double wn = 2.0 * sizing.wn_unit;
+  ckt.add_mosfet("MNA", mid, na, spice::Circuit::ground(), spice::Circuit::ground(),
+                 MosModel(t, MosType::Nmos, wn, sizing.length));
+  ckt.add_mosfet("MNB", out, nb, mid, spice::Circuit::ground(),
+                 MosModel(t, MosType::Nmos, wn, sizing.length));
+  // Pull-up pair.
+  ckt.add_mosfet("MPA", out, na, vdd, vdd,
+                 MosModel(t, MosType::Pmos, sizing.wp_unit, sizing.length));
+  ckt.add_mosfet("MPB", out, nb, vdd, vdd,
+                 MosModel(t, MosType::Pmos, sizing.wp_unit, sizing.length));
+  spice::DcOptions opts;
+  opts.temp = temp;
+  const auto sol = spice::solve_dc(ckt, opts);
+  return -sol.vsource_currents.at("VDD");
+}
+
+TEST(Integration, GateModelTracksMnaForEveryNand2Vector) {
+  // Fig. 8 generalised to a complete gate. Three of the four vectors track
+  // the transistor-level solve within ~12%. Vector (a=0, b=1) is the
+  // documented limitation of the §2.2 "ON devices are internal shorts"
+  // assumption: the ON top transistor only passes a degraded high level
+  // (mid ~ VDD - VTH + subthreshold margin), so the OFF bottom device sees
+  // less DIBL than the model assumes and the model overestimates by ~40%.
+  // We pin that number so a regression in either direction is caught.
+  const netlist::CellLibrary lib(tech());
+  const auto cell = lib.find("nand2");
+  for (unsigned v = 0; v < 4; ++v) {
+    const bool a = (v & 1) != 0;
+    const bool b = (v & 2) != 0;
+    const double i_model = leakage::gate_static(tech(), *cell, {a, b}, 300.0).i_off;
+    const double i_spice = nand2_spice_leakage(a, b, 300.0);
+    if (!a && b) {
+      EXPECT_NEAR(i_model / i_spice, 1.43, 0.10) << "weak-one vector";
+    } else {
+      EXPECT_NEAR(i_model / i_spice, 1.0, 0.12) << "vector (" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST(Integration, GateModelTracksMnaAcrossTemperature) {
+  const netlist::CellLibrary lib(tech());
+  const auto cell = lib.find("nand2");
+  for (double temp : {300.0, 350.0, 400.0}) {
+    const double i_model =
+        leakage::gate_static(tech(), *cell, {false, false}, temp).i_off;
+    const double i_spice = nand2_spice_leakage(false, false, temp);
+    EXPECT_NEAR(i_model / i_spice, 1.0, 0.12) << "T = " << temp;
+  }
+}
+
+TEST(Integration, CompactModelIsOrdersOfMagnitudeFasterThanMna) {
+  // The paper's raison d'etre. Wall-clock smoke check (very loose bound so
+  // CI noise cannot flake it): 100 gate-model evaluations must run at least
+  // 20x faster than 10 MNA solves.
+  const netlist::CellLibrary lib(tech());
+  const auto cell = lib.find("nand2");
+  const auto t0 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    sink += leakage::gate_static(tech(), *cell, {false, false}, 300.0 + i * 0.1).i_off;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    sink += nand2_spice_leakage(false, false, 300.0 + i);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const double model_per_eval = std::chrono::duration<double>(t1 - t0).count() / 100.0;
+  const double spice_per_eval = std::chrono::duration<double>(t2 - t1).count() / 10.0;
+  EXPECT_GT(sink, 0.0);
+  EXPECT_LT(model_per_eval * 20.0, spice_per_eval);
+}
+
+TEST(Integration, NetlistDrivenFloorplanCosim) {
+  // End to end: build a random netlist, aggregate it into floorplan blocks,
+  // run the concurrent solve, and check the temperatures feed back into the
+  // reported leakage.
+  const Technology t = tech();
+  const netlist::CellLibrary lib(t);
+  Rng rng(2024);
+
+  thermal::Die die;
+  die.width = 1e-3;
+  die.height = 1e-3;
+  die.t_sink = 318.15;
+  floorplan::Floorplan fp(die);
+  for (int bx = 0; bx < 2; ++bx) {
+    for (int by = 0; by < 2; ++by) {
+      floorplan::Block blk;
+      blk.name = "tile" + std::to_string(bx) + std::to_string(by);
+      blk.rect = {bx * 0.5e-3 + 0.05e-3, by * 0.5e-3 + 0.05e-3, 0.4e-3, 0.4e-3};
+      blk.p_dynamic = 0.5 + 0.5 * bx;  // left tiles cooler than right tiles
+      const auto nl = netlist::make_random_netlist(lib, 40, rng);
+      for (const auto& inst : nl.instances()) {
+        blk.gate_groups.push_back({inst.cell, inst.inputs, 2000.0});
+      }
+      fp.add_block(std::move(blk));
+    }
+  }
+
+  core::ElectroThermalSolver solver(t, fp, {});
+  const auto r = solver.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(r.runaway);
+  // Hotter (right) tiles leak more than cooler (left) ones despite identical
+  // populations being statistically similar.
+  const double left = r.blocks[0].temperature + r.blocks[1].temperature;
+  const double right = r.blocks[2].temperature + r.blocks[3].temperature;
+  EXPECT_GT(right, left);
+  EXPECT_GT(r.total_leakage, 0.0);
+}
+
+TEST(Integration, ColdEvaluationUnderestimatesTotalPower) {
+  // The quantitative version of the paper's motivation: single-pass power
+  // at the sink temperature vs the concurrent fixed point.
+  Rng rng(31);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = 6.0;
+  cfg.gates_per_mm2 = 2e5;
+  thermal::Die die;
+  die.width = 1e-3;
+  die.height = 1e-3;
+  die.t_sink = 338.15;  // 65 C sink: leakage matters
+  auto fp = floorplan::make_uniform_grid(tech(), die, 3, 3, cfg, rng);
+  core::ElectroThermalSolver solver(tech(), fp, {});
+  const auto r = solver.solve();
+  ASSERT_TRUE(r.converged);
+  double cold_total = 0.0;
+  for (const auto& b : fp.blocks()) cold_total += b.total_power(tech(), die.t_sink);
+  EXPECT_GT(r.total_power(), cold_total);
+}
+
+}  // namespace
+}  // namespace ptherm

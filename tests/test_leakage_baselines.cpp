@@ -1,0 +1,119 @@
+// Tests for the Chen-98 and Narendra-04 baseline reconstructions: both must
+// behave like credible prior art — correct trends, but less accurate against
+// the exact solver than the paper's model (that is Fig. 8's story).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "device/mosfet.hpp"
+#include "leakage/baselines.hpp"
+#include "leakage/collapse.hpp"
+#include "leakage/exact_stack.hpp"
+
+namespace ptherm::leakage {
+namespace {
+
+using device::MosType;
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+TEST(Chen98, SingleDeviceMatchesOffCurrent) {
+  const double i = chen98_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 1, 300.0);
+  const double expected = device::off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 300.0);
+  EXPECT_DOUBLE_EQ(i, expected);
+}
+
+TEST(Chen98, ReproducesStackEffectDirection) {
+  double prev = 1e9;
+  for (int n = 1; n <= 5; ++n) {
+    const double i = chen98_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, n, 300.0);
+    EXPECT_LT(i, prev) << "n = " << n;
+    prev = i;
+  }
+}
+
+TEST(Chen98, WithinBallparkOfExact) {
+  // Still a sensible model: right order of magnitude for every depth.
+  for (int n = 2; n <= 4; ++n) {
+    const std::vector<double> widths(n, 1e-6);
+    const auto exact = solve_exact_chain(tech(), MosType::Nmos, widths, 0.12e-6, 300.0);
+    const double i = chen98_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, n, 300.0);
+    EXPECT_GT(i / exact.current, 0.3) << "n = " << n;
+    EXPECT_LT(i / exact.current, 3.5) << "n = " << n;
+  }
+}
+
+TEST(Chen98, LessAccurateThanProposedModel) {
+  // Fig. 8's message. Compare mean relative error across depths 2..4.
+  double err_model = 0.0;
+  double err_chen = 0.0;
+  for (int n = 2; n <= 4; ++n) {
+    const std::vector<double> widths(n, 1e-6);
+    const auto exact = solve_exact_chain(tech(), MosType::Nmos, widths, 0.12e-6, 300.0);
+    const double i_model =
+        chain_off_current(tech(), MosType::Nmos, widths, 0.12e-6, 300.0);
+    const double i_chen =
+        chen98_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, n, 300.0);
+    err_model += std::abs(i_model / exact.current - 1.0);
+    err_chen += std::abs(i_chen / exact.current - 1.0);
+  }
+  EXPECT_LT(err_model, err_chen);
+}
+
+TEST(Chen98, ChainVariantHandlesMixedWidths) {
+  const std::vector<double> widths = {0.3e-6, 1.2e-6, 0.6e-6};
+  const double i = chen98_chain_off_current(tech(), MosType::Nmos, widths, 0.12e-6, 300.0);
+  EXPECT_GT(i, 0.0);
+  EXPECT_THROW(chen98_chain_off_current(tech(), MosType::Nmos, {}, 0.12e-6, 300.0),
+               PreconditionError);
+}
+
+TEST(Narendra04, SingleAndDoubleStackOnly) {
+  const double i1 =
+      narendra04_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 1, 300.0);
+  const double i2 =
+      narendra04_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, 300.0);
+  EXPECT_GT(i1, i2);
+  EXPECT_THROW(narendra04_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 3, 300.0),
+               PreconditionError);
+}
+
+TEST(Narendra04, TwoStackWithinBallparkOfExact) {
+  const std::vector<double> widths(2, 1e-6);
+  const auto exact = solve_exact_chain(tech(), MosType::Nmos, widths, 0.12e-6, 300.0);
+  const double i =
+      narendra04_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, 300.0);
+  EXPECT_GT(i / exact.current, 0.5);
+  EXPECT_LT(i / exact.current, 2.0);
+}
+
+TEST(Baselines, AllModelsAgreeOnTemperatureDirection) {
+  for (double temp : {300.0, 350.0, 400.0}) {
+    const double chen =
+        chen98_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, temp);
+    const double nar =
+        narendra04_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, temp);
+    const double model = stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, temp);
+    EXPECT_GT(chen, 0.0);
+    EXPECT_GT(nar, 0.0);
+    EXPECT_GT(model, 0.0);
+  }
+  // And the ratios hot/cold are all strongly > 1.
+  auto ratio = [&](auto fn) {
+    return fn(400.0) / fn(300.0);
+  };
+  auto chen = [&](double t) {
+    return chen98_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, t);
+  };
+  auto nar = [&](double t) {
+    return narendra04_stack_off_current(tech(), MosType::Nmos, 1e-6, 0.12e-6, 2, t);
+  };
+  EXPECT_GT(ratio(chen), 10.0);
+  EXPECT_GT(ratio(nar), 10.0);
+}
+
+}  // namespace
+}  // namespace ptherm::leakage

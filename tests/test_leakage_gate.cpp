@@ -1,0 +1,214 @@
+// Tests for the series-parallel networks and gate-level leakage rules of
+// §2.1: OFF||ON discarded, OFF||OFF widths add, series chains collapse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "device/mosfet.hpp"
+#include "leakage/collapse.hpp"
+#include "leakage/gate.hpp"
+#include "leakage/spnet.hpp"
+
+namespace ptherm::leakage {
+namespace {
+
+using device::MosType;
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+constexpr double kW = 0.5e-6;
+
+TEST(SpNetwork, DeviceStateFollowsPolarity) {
+  const auto d = SpNetwork::device(0, kW);
+  EXPECT_TRUE(d.is_on(MosType::Nmos, {true}));
+  EXPECT_FALSE(d.is_on(MosType::Nmos, {false}));
+  EXPECT_FALSE(d.is_on(MosType::Pmos, {true}));
+  EXPECT_TRUE(d.is_on(MosType::Pmos, {false}));
+}
+
+TEST(SpNetwork, SeriesNeedsAllOnParallelNeedsAny) {
+  const auto series =
+      SpNetwork::series({SpNetwork::device(0, kW), SpNetwork::device(1, kW)});
+  const auto par =
+      SpNetwork::parallel({SpNetwork::device(0, kW), SpNetwork::device(1, kW)});
+  EXPECT_TRUE(series.is_on(MosType::Nmos, {true, true}));
+  EXPECT_FALSE(series.is_on(MosType::Nmos, {true, false}));
+  EXPECT_TRUE(par.is_on(MosType::Nmos, {true, false}));
+  EXPECT_FALSE(par.is_on(MosType::Nmos, {false, false}));
+}
+
+TEST(SpNetwork, CountsInputsAndDevices) {
+  const auto net = SpNetwork::parallel(
+      {SpNetwork::series({SpNetwork::device(0, kW), SpNetwork::device(3, kW)}),
+       SpNetwork::device(1, kW)});
+  EXPECT_EQ(net.input_count(), 4);
+  EXPECT_EQ(net.device_count(), 3);
+}
+
+TEST(SpNetwork, ParallelOffWidthsAdd) {
+  const auto par =
+      SpNetwork::parallel({SpNetwork::device(0, kW), SpNetwork::device(1, 2.0 * kW)});
+  const auto w = par.effective_width(tech(), MosType::Nmos, {false, false}, 300.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(*w, 3.0 * kW);
+}
+
+TEST(SpNetwork, OffBranchParallelToOnBranchIsDiscarded) {
+  // §2.1: when an ON path shorts the block, the block contributes no OFF
+  // width at all (effective_width reports "ON").
+  const auto par =
+      SpNetwork::parallel({SpNetwork::device(0, kW), SpNetwork::device(1, kW)});
+  const auto w = par.effective_width(tech(), MosType::Nmos, {false, true}, 300.0);
+  EXPECT_FALSE(w.has_value());
+}
+
+TEST(SpNetwork, SeriesOffChainUsesCollapse) {
+  const auto series =
+      SpNetwork::series({SpNetwork::device(0, kW), SpNetwork::device(1, kW)});
+  const auto w = series.effective_width(tech(), MosType::Nmos, {false, false}, 300.0);
+  ASSERT_TRUE(w.has_value());
+  const double widths[] = {kW, kW};
+  const double expected = collapse_chain(tech(), MosType::Nmos, widths, 300.0).w_eff;
+  EXPECT_DOUBLE_EQ(*w, expected);
+  EXPECT_LT(*w, kW);  // stack effect
+}
+
+TEST(SpNetwork, OnDeviceInSeriesChainIsInternalShort) {
+  // Middle device ON: the chain collapses as a 2-stack of the OFF devices.
+  const auto series = SpNetwork::series({SpNetwork::device(0, kW),
+                                         SpNetwork::device(1, kW),
+                                         SpNetwork::device(2, kW)});
+  const auto w = series.effective_width(tech(), MosType::Nmos, {false, true, false}, 300.0);
+  ASSERT_TRUE(w.has_value());
+  const double widths[] = {kW, kW};
+  EXPECT_DOUBLE_EQ(*w, collapse_chain(tech(), MosType::Nmos, widths, 300.0).w_eff);
+}
+
+TEST(SpNetwork, EmptyNetworkThrows) {
+  SpNetwork empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW((void)empty.is_on(MosType::Nmos, {}), PreconditionError);
+  EXPECT_THROW((void)empty.effective_width(tech(), MosType::Nmos, {}, 300.0),
+               PreconditionError);
+}
+
+TEST(SpNetwork, ShortInputVectorThrows) {
+  const auto d = SpNetwork::device(2, kW);
+  EXPECT_THROW((void)d.is_on(MosType::Nmos, {true}), PreconditionError);
+}
+
+/// Hand-built NAND2.
+GateTopology nand2() {
+  GateTopology g;
+  g.name = "nand2";
+  g.pull_down =
+      SpNetwork::series({SpNetwork::device(0, 2 * kW), SpNetwork::device(1, 2 * kW)});
+  g.pull_up = SpNetwork::parallel({SpNetwork::device(0, kW), SpNetwork::device(1, kW)});
+  g.length = tech().l_drawn;
+  return g;
+}
+
+TEST(GateStatic, Nand2TruthTableAndLeakPaths) {
+  const auto g = nand2();
+  // 00: output high, both nMOS OFF in series -> stack current.
+  {
+    const auto r = gate_static(tech(), g, {false, false}, 300.0);
+    EXPECT_TRUE(r.output_high);
+    const double widths[] = {2 * kW, 2 * kW};
+    EXPECT_DOUBLE_EQ(r.w_eff, collapse_chain(tech(), MosType::Nmos, widths, 300.0).w_eff);
+  }
+  // 11: output low, both pMOS OFF in parallel -> widths add.
+  {
+    const auto r = gate_static(tech(), g, {true, true}, 300.0);
+    EXPECT_FALSE(r.output_high);
+    EXPECT_DOUBLE_EQ(r.w_eff, 2.0 * kW);
+  }
+  // 10: output high, leakage through single OFF nMOS (input 1).
+  {
+    const auto r = gate_static(tech(), g, {true, false}, 300.0);
+    EXPECT_TRUE(r.output_high);
+    EXPECT_DOUBLE_EQ(r.w_eff, 2 * kW);
+  }
+}
+
+TEST(GateStatic, Nand2VectorOrderingMatchesStackEffect) {
+  // The 00 vector (full stack) must leak the least; 11 (parallel pMOS pair)
+  // typically leaks the most for balanced sizing.
+  const auto g = nand2();
+  const auto i00 = gate_static(tech(), g, {false, false}, 300.0).i_off;
+  const auto i01 = gate_static(tech(), g, {true, false}, 300.0).i_off;
+  const auto i10 = gate_static(tech(), g, {false, true}, 300.0).i_off;
+  const auto i11 = gate_static(tech(), g, {true, true}, 300.0).i_off;
+  EXPECT_LT(i00, i01);
+  EXPECT_LT(i00, i10);
+  EXPECT_LT(i00, i11);
+}
+
+TEST(GateStatic, PowerIsCurrentTimesVdd) {
+  const auto g = nand2();
+  const auto r = gate_static(tech(), g, {false, true}, 300.0);
+  EXPECT_DOUBLE_EQ(r.p_static, r.i_off * tech().vdd);
+}
+
+TEST(GateStatic, ContentionAndFloatThrow) {
+  // Deliberately broken "gate": both networks are the same nMOS-style net.
+  GateTopology broken;
+  broken.name = "broken";
+  broken.pull_down = SpNetwork::device(0, kW);
+  broken.pull_up = SpNetwork::device(0, kW);  // pMOS: ON when input is 0
+  broken.length = tech().l_drawn;
+  // input 1: pull-down ON, pull-up OFF -> fine.
+  EXPECT_NO_THROW(gate_static(tech(), broken, {true}, 300.0));
+  // A gate that is ON on both sides: pull_up device polarity makes them
+  // complementary here, so build true contention with constant nets.
+  GateTopology contention;
+  contention.name = "contention";
+  contention.pull_down = SpNetwork::parallel({SpNetwork::device(0, kW),
+                                              SpNetwork::device(1, kW)});
+  contention.pull_up = SpNetwork::parallel({SpNetwork::device(0, kW),
+                                            SpNetwork::device(1, kW)});
+  contention.length = tech().l_drawn;
+  // Vector {1,0}: nMOS parallel has input0 ON; pMOS parallel has input1 ON.
+  EXPECT_THROW(gate_static(tech(), contention, {true, false}, 300.0), PreconditionError);
+  // Vector {0,1}: nMOS has input1 ON; pMOS has input0 ON -> also contention.
+  EXPECT_THROW(gate_static(tech(), contention, {false, true}, 300.0), PreconditionError);
+
+  // Floating output: a mismatched pair where vector {1,0} switches both
+  // networks OFF.
+  GateTopology floating;
+  floating.name = "floating";
+  floating.pull_down =
+      SpNetwork::series({SpNetwork::device(0, kW), SpNetwork::device(1, kW)});
+  floating.pull_up = SpNetwork::device(0, kW);
+  floating.length = tech().l_drawn;
+  EXPECT_THROW(gate_static(tech(), floating, {true, false}, 300.0), PreconditionError);
+}
+
+TEST(GateSummary, EnumeratesAllVectors) {
+  const auto g = nand2();
+  const auto s = gate_leakage_summary(tech(), g, 300.0);
+  EXPECT_GT(s.mean_i_off, 0.0);
+  EXPECT_LE(s.min_i_off, s.mean_i_off);
+  EXPECT_GE(s.max_i_off, s.mean_i_off);
+  // Min vector is the full stack 00.
+  EXPECT_EQ(s.min_vector, (InputVector{false, false}));
+}
+
+TEST(GateSummary, TemperatureScalesWholeDistribution) {
+  const auto g = nand2();
+  const auto cold = gate_leakage_summary(tech(), g, 300.0);
+  const auto hot = gate_leakage_summary(tech(), g, 400.0);
+  EXPECT_GT(hot.min_i_off, cold.min_i_off);
+  EXPECT_GT(hot.max_i_off, cold.max_i_off);
+  EXPECT_GT(hot.mean_i_off / cold.mean_i_off, 10.0);
+}
+
+TEST(VectorFromIndex, BitOrderIsLsbFirst) {
+  const auto v = vector_from_index(0b101, 3);
+  EXPECT_EQ(v, (InputVector{true, false, true}));
+  EXPECT_THROW(vector_from_index(0, -1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ptherm::leakage

@@ -1,0 +1,97 @@
+// Tests for the thermal-map exporters.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "thermal/map_io.hpp"
+
+namespace ptherm::thermal {
+namespace {
+
+SurfaceMap ramp_map() {
+  SurfaceMap m;
+  m.nx = 4;
+  m.ny = 3;
+  m.values.resize(12);
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 4; ++i) m.values[j * 4 + i] = 10.0 * j + i;
+  }
+  return m;
+}
+
+TEST(SurfaceMap, MinMaxAndAt) {
+  const auto m = ramp_map();
+  EXPECT_DOUBLE_EQ(m.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_value(), 23.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 2), 23.0);
+  SurfaceMap bad;
+  bad.nx = 2;
+  bad.ny = 2;
+  bad.values.resize(3);
+  EXPECT_THROW(bad.min_value(), PreconditionError);
+}
+
+TEST(MapIo, PgmHeaderAndSize) {
+  const auto m = ramp_map();
+  const std::string path = "test_map_io.pgm";
+  ASSERT_TRUE(write_pgm(m, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, depth = 0;
+  in >> magic >> w >> h >> depth;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(depth, 255);
+  in.get();  // single whitespace after header
+  std::string pixels((std::istreambuf_iterator<char>(in)), {});
+  EXPECT_EQ(pixels.size(), 12u);
+  // Row 0 of the map (coolest) is the *last* image row; the hottest sample
+  // (map top-right) is the final byte of the first image row.
+  EXPECT_EQ(static_cast<unsigned char>(pixels[3]), 255u);
+  EXPECT_EQ(static_cast<unsigned char>(pixels[8]), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MapIo, GnuplotMatrixRoundTrips) {
+  const auto m = ramp_map();
+  const std::string path = "test_map_io.dat";
+  ASSERT_TRUE(write_gnuplot_matrix(m, path));
+  std::ifstream in(path);
+  std::string comment;
+  std::getline(in, comment);
+  EXPECT_EQ(comment.rfind("# gnuplot", 0), 0u);
+  double v = -1.0;
+  in >> v;
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  for (int k = 1; k < 12; ++k) in >> v;
+  EXPECT_DOUBLE_EQ(v, 23.0);
+  std::remove(path.c_str());
+}
+
+TEST(MapIo, AsciiRenderingShapesCorrectly) {
+  const auto m = ramp_map();
+  const std::string art = render_ascii(m);
+  // 3 lines of 4 characters plus newlines.
+  EXPECT_EQ(art.size(), 15u);
+  // Hottest cell -> '@', coolest -> ' '. Row 0 is rendered last.
+  EXPECT_EQ(art[3], '@');
+  EXPECT_EQ(art[10], ' ');
+}
+
+TEST(MapIo, ConstantMapDoesNotDivideByZero) {
+  SurfaceMap flat;
+  flat.nx = 2;
+  flat.ny = 2;
+  flat.values.assign(4, 5.0);
+  EXPECT_NO_THROW(render_ascii(flat));
+  const std::string path = "test_map_flat.pgm";
+  EXPECT_TRUE(write_pgm(flat, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ptherm::thermal

@@ -1,0 +1,193 @@
+// Tests for the standard-cell library and netlist-level leakage statistics.
+// The key property test: every cell in the library must be valid static CMOS
+// for every input vector (exactly one network ON).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "leakage/gate.hpp"
+#include "netlist/cells.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ptherm::netlist {
+namespace {
+
+using device::MosType;
+using device::Technology;
+using leakage::gate_static;
+using leakage::InputVector;
+using leakage::vector_from_index;
+
+Technology tech() { return Technology::cmos012(); }
+
+TEST(CellSizing, BalancedDriveRatio) {
+  const auto s = CellSizing::for_tech(tech());
+  EXPECT_GT(s.wp_unit, s.wn_unit);  // pMOS weaker per um -> wider
+  EXPECT_NEAR(s.wp_unit / s.wn_unit, tech().kp_n / tech().kp_p, 1e-12);
+  EXPECT_DOUBLE_EQ(s.length, tech().l_drawn);
+}
+
+TEST(CellLibrary, ContainsTheConventionalSet) {
+  const CellLibrary lib(tech());
+  for (const char* name : {"inv", "nand2", "nand3", "nand4", "nor2", "nor3", "nor4",
+                           "aoi21", "aoi22", "oai21", "oai22"}) {
+    EXPECT_NO_THROW((void)lib.find(name)) << name;
+  }
+  EXPECT_THROW((void)lib.find("xor2"), PreconditionError);
+  EXPECT_EQ(lib.names().size(), 11u);
+}
+
+// The big property test: every cell x every vector is valid static CMOS.
+class EveryCellEveryVector : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EveryCellEveryVector, ExactlyOneNetworkConducts) {
+  const CellLibrary lib(tech());
+  const auto cell = lib.find(GetParam());
+  const int k = cell->input_count();
+  for (unsigned v = 0; v < (1u << k); ++v) {
+    const InputVector inputs = vector_from_index(v, k);
+    // gate_static throws on contention or floating output.
+    const auto r = gate_static(tech(), *cell, inputs, 300.0);
+    EXPECT_GT(r.i_off, 0.0);
+    EXPECT_GT(r.w_eff, 0.0);
+  }
+}
+
+TEST_P(EveryCellEveryVector, LogicFunctionMatchesName) {
+  const CellLibrary lib(tech());
+  const auto cell = lib.find(GetParam());
+  const std::string name = GetParam();
+  const int k = cell->input_count();
+  for (unsigned v = 0; v < (1u << k); ++v) {
+    const InputVector in = vector_from_index(v, k);
+    const bool out = gate_static(tech(), *cell, in, 300.0).output_high;
+    bool expected = false;
+    if (name == "inv") expected = !in[0];
+    else if (name.rfind("nand", 0) == 0) {
+      expected = false;
+      for (int b = 0; b < k; ++b) expected |= !in[b];
+    } else if (name.rfind("nor", 0) == 0) {
+      expected = true;
+      for (int b = 0; b < k; ++b) expected &= !in[b];
+    } else if (name == "aoi21") expected = !((in[0] && in[1]) || in[2]);
+    else if (name == "aoi22") expected = !((in[0] && in[1]) || (in[2] && in[3]));
+    else if (name == "oai21") expected = !((in[0] || in[1]) && in[2]);
+    else if (name == "oai22") expected = !((in[0] || in[1]) && (in[2] || in[3]));
+    EXPECT_EQ(out, expected) << name << " vector " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, EveryCellEveryVector,
+                         ::testing::Values("inv", "nand2", "nand3", "nand4", "nor2", "nor3",
+                                           "nor4", "aoi21", "aoi22", "oai21", "oai22"));
+
+TEST(CellLeakage, NandAllZerosIsTheLowLeakVector) {
+  const CellLibrary lib(tech());
+  for (const char* name : {"nand2", "nand3", "nand4"}) {
+    const auto cell = lib.find(name);
+    const auto s = leakage::gate_leakage_summary(tech(), *cell, 300.0);
+    const InputVector zeros(static_cast<std::size_t>(cell->input_count()), false);
+    EXPECT_EQ(s.min_vector, zeros) << name;
+  }
+}
+
+TEST(CellLeakage, DeeperStacksLeakLess) {
+  const CellLibrary lib(tech());
+  const auto i2 = gate_static(tech(), *lib.find("nand2"), {false, false}, 300.0).i_off;
+  const auto i3 =
+      gate_static(tech(), *lib.find("nand3"), {false, false, false}, 300.0).i_off;
+  const auto i4 =
+      gate_static(tech(), *lib.find("nand4"), {false, false, false, false}, 300.0).i_off;
+  // Per-device widths grow with fan-in (sizing), yet the stack effect wins.
+  EXPECT_LT(i3, 2.0 * i2);
+  EXPECT_LT(i4, 2.0 * i3);
+}
+
+TEST(Netlist, AddAndCount) {
+  const CellLibrary lib(tech());
+  Netlist nl;
+  nl.add_instance("u0", lib.find("inv"), {false});
+  nl.add_instance("u1", lib.find("nand2"), {true, false});
+  EXPECT_EQ(nl.size(), 2u);
+  EXPECT_EQ(nl.transistor_count(), 2 + 4);
+  EXPECT_THROW(nl.add_instance("u2", nullptr, {}), PreconditionError);
+  EXPECT_THROW(nl.add_instance("u3", lib.find("nand2"), {true}), PreconditionError);
+}
+
+TEST(Netlist, TotalLeakageIsSumOfInstances) {
+  const CellLibrary lib(tech());
+  Netlist nl;
+  nl.add_instance("u0", lib.find("inv"), {false});
+  const double one = nl.total_off_current(tech(), 300.0);
+  nl.add_instance("u1", lib.find("inv"), {false});
+  EXPECT_NEAR(nl.total_off_current(tech(), 300.0), 2.0 * one, 1e-18);
+  EXPECT_DOUBLE_EQ(nl.total_static_power(tech(), 300.0),
+                   nl.total_off_current(tech(), 300.0) * tech().vdd);
+}
+
+TEST(Netlist, MonteCarloStatsAreConsistent) {
+  Rng build_rng(9);
+  const CellLibrary lib(tech());
+  const auto nl = make_random_netlist(lib, 200, build_rng);
+  Rng mc_rng(10);
+  const auto stats = nl.monte_carlo_leakage(tech(), 300.0, 50, mc_rng);
+  EXPECT_GT(stats.mean, 0.0);
+  EXPECT_LE(stats.min, stats.mean);
+  EXPECT_GE(stats.max, stats.mean);
+  EXPECT_GE(stats.stddev, 0.0);
+  // Leakage spread across vectors is real but bounded for 200 gates.
+  EXPECT_LT(stats.stddev / stats.mean, 0.5);
+  EXPECT_THROW(nl.monte_carlo_leakage(tech(), 300.0, 0, mc_rng), PreconditionError);
+}
+
+TEST(Netlist, RandomNetlistIsDeterministicPerSeed) {
+  const CellLibrary lib(tech());
+  Rng r1(77), r2(77);
+  const auto a = make_random_netlist(lib, 50, r1);
+  const auto b = make_random_netlist(lib, 50, r2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NEAR(a.total_off_current(tech(), 300.0), b.total_off_current(tech(), 300.0),
+              1e-20);
+}
+
+TEST(Netlist, HotterMeansLeakier) {
+  Rng rng(12);
+  const CellLibrary lib(tech());
+  const auto nl = make_random_netlist(lib, 100, rng);
+  EXPECT_GT(nl.total_off_current(tech(), 400.0),
+            10.0 * nl.total_off_current(tech(), 300.0));
+}
+
+
+TEST(Netlist, StandbyOptimizationFindsTheFloor) {
+  Rng rng(55);
+  const CellLibrary lib(tech());
+  Netlist nl = make_random_netlist(lib, 300, rng);
+  const double before = nl.total_off_current(tech(), celsius(110.0));
+  const double reported = optimize_standby_vectors(nl, tech(), celsius(110.0));
+  const double after = nl.total_off_current(tech(), celsius(110.0));
+  EXPECT_NEAR(reported, after, 1e-12 * after);
+  EXPECT_LT(after, before);
+  // The floor is a genuine lower bound: no random state beats it.
+  Netlist probe = nl;
+  Rng mc(56);
+  for (int s = 0; s < 20; ++s) {
+    probe.randomize_states(mc);
+    EXPECT_GE(probe.total_off_current(tech(), celsius(110.0)), after * (1.0 - 1e-9));
+  }
+}
+
+TEST(Netlist, SetInstanceInputsValidates) {
+  const CellLibrary lib(tech());
+  Netlist nl;
+  nl.add_instance("u0", lib.find("nand2"), {false, false});
+  nl.set_instance_inputs(0, {true, true});
+  EXPECT_THROW(nl.set_instance_inputs(1, {true, true}), PreconditionError);
+  EXPECT_THROW(nl.set_instance_inputs(0, {true}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ptherm::netlist

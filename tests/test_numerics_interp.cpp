@@ -1,0 +1,85 @@
+// Unit tests for the interpolators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "numerics/interp.hpp"
+
+namespace ptherm::numerics {
+namespace {
+
+TEST(LinearInterp, ReproducesKnots) {
+  LinearInterpolator li({0.0, 1.0, 2.0}, {5.0, 7.0, 4.0});
+  EXPECT_DOUBLE_EQ(li(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(li(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(li(2.0), 4.0);
+}
+
+TEST(LinearInterp, MidpointsAreAverages) {
+  LinearInterpolator li({0.0, 1.0}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(li(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(li(0.25), 2.5);
+}
+
+TEST(LinearInterp, ClampsOutsideDomain) {
+  LinearInterpolator li({0.0, 1.0}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(li(-5.0), 2.0);
+  EXPECT_DOUBLE_EQ(li(9.0), 4.0);
+}
+
+TEST(LinearInterp, RejectsBadGrids) {
+  EXPECT_THROW(LinearInterpolator({0.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(LinearInterpolator({0.0, 0.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(LinearInterpolator({1.0, 0.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(LinearInterpolator({0.0, 1.0}, {1.0}), PreconditionError);
+}
+
+TEST(Pchip, ReproducesKnots) {
+  PchipInterpolator pi({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 4.0, 9.0});
+  for (int i = 0; i <= 3; ++i) EXPECT_NEAR(pi(i), i * i, 1e-12);
+}
+
+TEST(Pchip, PreservesMonotonicity) {
+  // Data with a sharp step: cubic splines overshoot here, PCHIP must not.
+  PchipInterpolator pi({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 0.0, 1.0, 1.0, 1.0});
+  double prev = -1e-12;
+  for (double x = 0.0; x <= 4.0; x += 0.01) {
+    const double y = pi(x);
+    EXPECT_GE(y, prev - 1e-12) << "not monotone at x=" << x;
+    EXPECT_GE(y, -1e-12);
+    EXPECT_LE(y, 1.0 + 1e-12);
+    prev = y;
+  }
+}
+
+TEST(Pchip, FlatAtLocalExtremum) {
+  PchipInterpolator pi({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  // Peak at the middle knot; interpolant must not exceed the data maximum.
+  for (double x = 0.0; x <= 2.0; x += 0.01) {
+    EXPECT_LE(pi(x), 1.0 + 1e-12);
+    EXPECT_GE(pi(x), -1e-12);
+  }
+}
+
+TEST(Pchip, SmoothFunctionAccuracy) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(std::sin(x));
+  }
+  PchipInterpolator pi(xs, ys);
+  for (double x = 0.0; x <= 2.0; x += 0.013) {
+    EXPECT_NEAR(pi(x), std::sin(x), 2e-3);
+  }
+}
+
+TEST(Pchip, TwoPointFallsBackToLinear) {
+  PchipInterpolator pi({0.0, 2.0}, {1.0, 5.0});
+  EXPECT_NEAR(pi(1.0), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ptherm::numerics

@@ -1,0 +1,92 @@
+// Unit tests for the ODE integrators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numerics/ode.hpp"
+
+namespace ptherm::numerics {
+namespace {
+
+TEST(Rk4, ExponentialDecayMatchesClosedForm) {
+  OdeRhs f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{-2.0 * y[0]};
+  };
+  const auto sol = rk4(f, {1.0}, 0.0, 1.0, 1e-3);
+  EXPECT_NEAR(sol.states.back()[0], std::exp(-2.0), 1e-9);
+  EXPECT_NEAR(sol.times.back(), 1.0, 1e-12);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  OdeRhs f = [](double t, const std::vector<double>& y) {
+    return std::vector<double>{y[0] * std::cos(t)};
+  };
+  auto err = [&](double dt) {
+    const auto sol = rk4(f, {1.0}, 0.0, 2.0, dt);
+    return std::abs(sol.states.back()[0] - std::exp(std::sin(2.0)));
+  };
+  const double e1 = err(0.02);
+  const double e2 = err(0.01);
+  // Halving dt should cut the error by about 2^4 = 16.
+  EXPECT_GT(e1 / e2, 10.0);
+  EXPECT_LT(e1 / e2, 24.0);
+}
+
+TEST(Rk4, CoupledOscillatorConservesEnergy) {
+  OdeRhs f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{y[1], -y[0]};
+  };
+  const auto sol = rk4(f, {1.0, 0.0}, 0.0, 10.0, 1e-3);
+  const auto& last = sol.states.back();
+  EXPECT_NEAR(last[0] * last[0] + last[1] * last[1], 1.0, 1e-8);
+}
+
+TEST(BackwardEuler, StableOnStiffDecay) {
+  // lambda = -1e4 with dt = 1e-2: explicit RK4 would explode; backward Euler
+  // must stay bounded and land near zero.
+  OdeRhs f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{-1e4 * (y[0] - 1.0)};
+  };
+  const auto sol = backward_euler(f, {0.0}, 0.0, 0.1, 1e-2, 200, 1e-13);
+  for (const auto& s : sol.states) {
+    EXPECT_GE(s[0], -1e-9);
+    EXPECT_LE(s[0], 1.0 + 1e-9);
+  }
+  EXPECT_NEAR(sol.states.back()[0], 1.0, 1e-6);
+}
+
+TEST(BackwardEuler, FirstOrderAccuracy) {
+  OdeRhs f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{-y[0]};
+  };
+  auto err = [&](double dt) {
+    const auto sol = backward_euler(f, {1.0}, 0.0, 1.0, dt);
+    return std::abs(sol.states.back()[0] - std::exp(-1.0));
+  };
+  const double e1 = err(0.02);
+  const double e2 = err(0.01);
+  EXPECT_GT(e1 / e2, 1.7);  // first order: ratio ~ 2
+  EXPECT_LT(e1 / e2, 2.3);
+}
+
+TEST(Rk4Scalar, WrapsVectorIntegrator) {
+  const auto sol = rk4_scalar([](double, double y) { return -y; }, 1.0, 0.0, 1.0, 1e-3);
+  EXPECT_NEAR(sol.states.back()[0], std::exp(-1.0), 1e-9);
+}
+
+TEST(Ode, RejectsBadTimeGrid) {
+  OdeRhs f = [](double, const std::vector<double>& y) { return y; };
+  EXPECT_THROW(rk4(f, {1.0}, 1.0, 0.0, 0.1), PreconditionError);
+  EXPECT_THROW(rk4(f, {1.0}, 0.0, 1.0, -0.1), PreconditionError);
+}
+
+TEST(Ode, FinalPartialStepLandsExactlyOnTStop) {
+  OdeRhs f = [](double, const std::vector<double>&) { return std::vector<double>{1.0}; };
+  const auto sol = rk4(f, {0.0}, 0.0, 1.0, 0.3);  // 0.3 does not divide 1.0
+  EXPECT_NEAR(sol.times.back(), 1.0, 1e-12);
+  EXPECT_NEAR(sol.states.back()[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ptherm::numerics

@@ -1,0 +1,103 @@
+// Unit tests for numerics/quadrature.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace ptherm::numerics {
+namespace {
+
+TEST(Integrate, PolynomialIsExactForSimpson) {
+  auto f = [](double x) { return 3.0 * x * x; };  // integral over [0,2] = 8
+  const auto r = integrate(f, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 8.0, 1e-12);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  auto f = [](double) { return 1.0; };
+  EXPECT_DOUBLE_EQ(integrate(f, 1.0, 1.0).value, 0.0);
+}
+
+TEST(Integrate, SineOverPi) {
+  const auto r = integrate([](double x) { return std::sin(x); }, 0.0, std::numbers::pi);
+  EXPECT_NEAR(r.value, 2.0, 1e-9);
+}
+
+TEST(Integrate, HandlesSharplyPeakedIntegrand) {
+  // Narrow Gaussian: adaptive subdivision must find the peak.
+  auto f = [](double x) { return std::exp(-x * x / (2.0 * 1e-4)); };
+  const auto r = integrate(f, -1.0, 1.0);
+  const double expected = std::sqrt(2.0 * std::numbers::pi * 1e-4);
+  EXPECT_NEAR(r.value, expected, 1e-6 * expected + 1e-12);
+}
+
+TEST(Integrate, NearSingularEdge) {
+  // 1/sqrt(x) floored near the origin: integrable singularity at the edge;
+  // integral over [0,1] is 2 up to the O(1e-6) floor correction. The initial
+  // Simpson estimate is wildly off, so drive the adaptivity with an absolute
+  // tolerance rather than one relative to that estimate.
+  auto f = [](double x) { return 1.0 / std::sqrt(std::max(x, 1e-12)); };
+  QuadratureOptions opts;
+  opts.abs_tol = 1e-6;
+  opts.rel_tol = 1e-12;
+  opts.max_depth = 48;
+  const auto r = integrate(f, 0.0, 1.0, opts);
+  EXPECT_NEAR(r.value, 2.0, 2e-3);
+}
+
+TEST(Integrate2d, SeparableProduct) {
+  // x*y over [0,1]^2 = 1/4.
+  const auto r = integrate2d([](double x, double y) { return x * y; }, 0, 1, 0, 1);
+  EXPECT_NEAR(r.value, 0.25, 1e-10);
+}
+
+TEST(Integrate2d, ThermalKernelOverUnitSquare) {
+  // Known value: integral of 1/r over [-1/2,1/2]^2 centred at the origin is
+  // 4*asinh(1) = 3.52549435...
+  auto f = [](double x, double y) {
+    return 1.0 / std::max(std::sqrt(x * x + y * y), 1e-14);
+  };
+  const auto r = integrate2d(f, -0.5, 0.5, -0.5, 0.5);
+  EXPECT_NEAR(r.value, 4.0 * std::asinh(1.0), 5e-3);
+}
+
+TEST(GaussLegendre, ExactForLowPolynomials) {
+  // Order-4 Gauss is exact through degree 7.
+  auto f = [](double x) { return std::pow(x, 7) + x * x; };
+  const double got = gauss_legendre(f, 0.0, 1.0, 4);
+  EXPECT_NEAR(got, 1.0 / 8.0 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(GaussLegendre, HigherOrderImprovesOscillatory) {
+  auto f = [](double x) { return std::cos(10.0 * x); };
+  const double exact = std::sin(10.0) / 10.0;
+  const double e4 = std::abs(gauss_legendre(f, 0.0, 1.0, 4) - exact);
+  const double e16 = std::abs(gauss_legendre(f, 0.0, 1.0, 16) - exact);
+  EXPECT_LT(e16, e4);
+  EXPECT_NEAR(gauss_legendre(f, 0.0, 1.0, 16), exact, 1e-10);
+}
+
+TEST(GaussLegendre, RejectsUnsupportedOrder) {
+  auto f = [](double) { return 1.0; };
+  EXPECT_THROW(gauss_legendre(f, 0, 1, 1), PreconditionError);
+  EXPECT_THROW(gauss_legendre(f, 0, 1, 17), PreconditionError);
+}
+
+// Property sweep: integrate x^n exactly for a range of n.
+class MonomialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonomialSweep, AdaptiveSimpsonMatchesClosedForm) {
+  const int n = GetParam();
+  auto f = [&](double x) { return std::pow(x, n); };
+  const auto r = integrate(f, 0.0, 1.0);
+  EXPECT_NEAR(r.value, 1.0 / (n + 1), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MonomialSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ptherm::numerics

@@ -1,0 +1,116 @@
+// Unit + property tests for numerics/roots.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numerics/roots.hpp"
+
+namespace ptherm::numerics {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  auto f = [](double x) { return x * x - 2.0; };
+  const auto r = bisect(f, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ThrowsWithoutBracket) {
+  auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(bisect(f, -1.0, 1.0), PreconditionError);
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint) {
+  auto f = [](double x) { return x; };
+  const auto r = bisect(f, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(Brent, FindsSqrtTwoFasterThanBisect) {
+  auto f = [](double x) { return x * x - 2.0; };
+  const auto rb = brent(f, 0.0, 2.0);
+  const auto ri = bisect(f, 0.0, 2.0);
+  EXPECT_TRUE(rb.converged);
+  EXPECT_NEAR(rb.x, std::sqrt(2.0), 1e-12);
+  EXPECT_LT(rb.iterations, ri.iterations);
+}
+
+TEST(Brent, HandlesSteepExponential) {
+  // The kind of function the leakage solver produces: e^(x/0.026) - K.
+  const double k = 1e6;
+  auto f = [&](double x) { return std::exp(x / 0.026) - k; };
+  const auto r = brent(f, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.026 * std::log(k), 1e-9);
+}
+
+TEST(Brent, ThrowsOnEmptyInterval) {
+  auto f = [](double x) { return x; };
+  EXPECT_THROW(brent(f, 1.0, -1.0), PreconditionError);
+}
+
+TEST(Newton, ConvergesQuadraticallyOnCubic) {
+  auto f = [](double x) { return x * x * x - 8.0; };
+  auto df = [](double x) { return 3.0 * x * x; };
+  RootOptions opts;
+  opts.f_tol = 1e-12;
+  const auto r = newton(f, df, 1.0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0, 1e-9);
+  EXPECT_LT(r.iterations, 12);
+}
+
+TEST(Newton, DampingRescuesOvershoot) {
+  // atan has a famously divergent undamped Newton from |x0| > ~1.39.
+  auto f = [](double x) { return std::atan(x); };
+  auto df = [](double x) { return 1.0 / (1.0 + x * x); };
+  RootOptions opts;
+  opts.f_tol = 1e-12;
+  const auto r = newton(f, df, 3.0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.0, 1e-6);
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  auto f = [](double x) { return x - 100.0; };
+  double lo = 0.0, hi = 1.0;
+  EXPECT_TRUE(expand_bracket(f, lo, hi));
+  EXPECT_LE(f(lo) * f(hi), 0.0);
+}
+
+TEST(ExpandBracket, FailsForSignlessFunction) {
+  auto f = [](double x) { return x * x + 1.0; };
+  double lo = -1.0, hi = 1.0;
+  EXPECT_FALSE(expand_bracket(f, lo, hi, 8));
+}
+
+// Property sweep: both bracketing methods must find the root of
+// f(x) = x^p - c for a family of (p, c).
+struct PowerCase {
+  double p;
+  double c;
+};
+
+class BracketingSweep : public ::testing::TestWithParam<PowerCase> {};
+
+TEST_P(BracketingSweep, BisectAndBrentAgree) {
+  const auto [p, c] = GetParam();
+  auto f = [&](double x) { return std::pow(x, p) - c; };
+  const double expected = std::pow(c, 1.0 / p);
+  const auto rb = brent(f, 0.0, 10.0);
+  const auto ri = bisect(f, 0.0, 10.0);
+  EXPECT_TRUE(rb.converged);
+  EXPECT_TRUE(ri.converged);
+  EXPECT_NEAR(rb.x, expected, 1e-9);
+  EXPECT_NEAR(ri.x, expected, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndConstants, BracketingSweep,
+                         ::testing::Values(PowerCase{1.0, 0.5}, PowerCase{2.0, 3.0},
+                                           PowerCase{3.0, 9.0}, PowerCase{0.5, 2.0},
+                                           PowerCase{5.0, 1e3}, PowerCase{1.5, 7.7}));
+
+}  // namespace
+}  // namespace ptherm::numerics

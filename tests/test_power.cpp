@@ -1,0 +1,112 @@
+// Tests for the dynamic power models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "device/tech.hpp"
+#include "power/dynamic.hpp"
+
+namespace ptherm::power {
+namespace {
+
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+SwitchingContext ctx() {
+  SwitchingContext c;
+  c.frequency = 1e9;
+  c.activity = 0.1;
+  c.c_load = 5e-15;
+  c.tau_in = 50e-12;
+  return c;
+}
+
+TEST(TransientPower, MatchesAlphaFCV2) {
+  const double p = transient_power(tech(), ctx());
+  EXPECT_NEAR(p, 0.1 * 1e9 * 5e-15 * 1.2 * 1.2, 1e-18);
+}
+
+TEST(TransientPower, QuadraticInVdd) {
+  auto t = tech();
+  const double p1 = transient_power(t, ctx());
+  t.vdd *= 2.0;
+  EXPECT_NEAR(transient_power(t, ctx()) / p1, 4.0, 1e-12);
+}
+
+TEST(ShortCircuit, ChargeIsPositiveForFiniteRamp) {
+  const double q = short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, ctx());
+  EXPECT_GT(q, 0.0);
+}
+
+TEST(ShortCircuit, ZeroForInstantaneousInput) {
+  auto c = ctx();
+  c.tau_in = 0.0;
+  EXPECT_DOUBLE_EQ(short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, c), 0.0);
+}
+
+TEST(ShortCircuit, ZeroWhenThresholdsCloseTheWindow) {
+  auto t = tech();
+  t.vt0_n = 0.7;
+  t.vt0_p = 0.7;  // vtn + vtp > vdd: devices never conduct together
+  EXPECT_DOUBLE_EQ(short_circuit_charge(t, 0.64e-6, 1.6e-6, 0.12e-6, ctx()), 0.0);
+}
+
+TEST(ShortCircuit, GrowsWithInputTransitionTime) {
+  auto slow = ctx();
+  slow.tau_in = 200e-12;
+  auto fast = ctx();
+  fast.tau_in = 20e-12;
+  const double q_slow = short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, slow);
+  const double q_fast = short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, fast);
+  EXPECT_GT(q_slow, q_fast);
+}
+
+TEST(ShortCircuit, HeavyLoadSuppressesIt) {
+  auto light = ctx();
+  light.c_load = 1e-15;
+  auto heavy = ctx();
+  heavy.c_load = 100e-15;
+  const double q_light = short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, light);
+  const double q_heavy = short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, heavy);
+  EXPECT_GT(q_light, 2.0 * q_heavy);
+}
+
+TEST(ShortCircuit, LimitedByWeakerDevice) {
+  // Shrinking the pMOS only must reduce Qsc once it becomes the bottleneck.
+  const double q_bal = short_circuit_charge(tech(), 0.64e-6, 1.6e-6, 0.12e-6, ctx());
+  const double q_weak_p = short_circuit_charge(tech(), 0.64e-6, 0.16e-6, 0.12e-6, ctx());
+  EXPECT_LT(q_weak_p, q_bal);
+}
+
+TEST(ShortCircuit, FractionOfDynamicPowerIsModest) {
+  // For a typical load the short-circuit adder sits below ~30% of the
+  // transient term — the regime [10] describes.
+  const auto p = gate_dynamic_power(tech(), 0.64e-6, 1.6e-6, 0.12e-6, ctx());
+  EXPECT_GT(p.short_circuit, 0.0);
+  EXPECT_LT(p.short_circuit, 0.3 * p.transient);
+  EXPECT_DOUBLE_EQ(p.total(), p.transient + p.short_circuit);
+}
+
+TEST(ShortCircuit, PowerScalesWithActivityAndFrequency) {
+  auto base = ctx();
+  auto busy = ctx();
+  busy.activity = 0.2;
+  busy.frequency = 2e9;
+  const double p1 = short_circuit_power(tech(), 0.64e-6, 1.6e-6, 0.12e-6, base);
+  const double p2 = short_circuit_power(tech(), 0.64e-6, 1.6e-6, 0.12e-6, busy);
+  EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(ShortCircuit, RejectsBadGeometry) {
+  EXPECT_THROW((void)short_circuit_charge(tech(), 0.0, 1e-6, 0.12e-6, ctx()),
+               PreconditionError);
+  auto c = ctx();
+  c.tau_in = -1.0;
+  EXPECT_THROW((void)short_circuit_charge(tech(), 1e-6, 1e-6, 0.12e-6, c),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ptherm::power

@@ -1,0 +1,110 @@
+// Tests for the Fig. 1 scaling roadmap: trends, temperature behaviour and
+// the static-overtakes-dynamic crossover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "scaling/roadmap.hpp"
+
+namespace ptherm::scaling {
+namespace {
+
+TEST(Roadmap, HasTheTenFig1Nodes) {
+  const auto nodes = default_roadmap();
+  ASSERT_EQ(nodes.size(), 10u);
+  EXPECT_DOUBLE_EQ(nodes.front().feature_um, 0.8);
+  EXPECT_DOUBLE_EQ(nodes.back().feature_um, 0.025);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].feature_um, nodes[i - 1].feature_um);
+  }
+}
+
+TEST(Roadmap, DensityAndFrequencyGrow) {
+  const auto nodes = default_roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GT(nodes[i].gate_count, nodes[i - 1].gate_count);
+    EXPECT_GE(nodes[i].frequency, nodes[i - 1].frequency);
+  }
+}
+
+TEST(Roadmap, SupplyAndCapacitancePerGateShrink) {
+  const auto nodes = default_roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].tech.vdd, nodes[i - 1].tech.vdd + 1e-12);
+    EXPECT_LT(nodes[i].c_per_gate, nodes[i - 1].c_per_gate);
+  }
+}
+
+TEST(NodePower, StaticIsExponentialInTemperature) {
+  const auto nodes = default_roadmap();
+  const auto& n = nodes[6];  // 0.07 um
+  const double s25 = node_power(n, celsius(25.0)).stat;
+  const double s100 = node_power(n, celsius(100.0)).stat;
+  const double s150 = node_power(n, celsius(150.0)).stat;
+  EXPECT_GT(s100 / s25, 5.0);
+  EXPECT_GT(s150 / s100, 2.0);
+}
+
+TEST(NodePower, DynamicIsTemperatureIndependent) {
+  const auto nodes = default_roadmap();
+  EXPECT_DOUBLE_EQ(node_power(nodes[4], celsius(25.0)).dynamic,
+                   node_power(nodes[4], celsius(150.0)).dynamic);
+}
+
+TEST(NodePower, Fig1Shape_DynamicGrowsThenFlattens) {
+  const auto nodes = default_roadmap();
+  // Monotone growth through the roadmap...
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GE(node_power(nodes[i], celsius(25.0)).dynamic,
+              node_power(nodes[i - 1], celsius(25.0)).dynamic * 0.9);
+  }
+  // ...and the end-of-roadmap dynamic power lands in the published tens-of-
+  // watts range, not in kilowatts (the flattening).
+  const double p_last = node_power(nodes.back(), celsius(25.0)).dynamic;
+  EXPECT_GT(p_last, 30.0);
+  EXPECT_LT(p_last, 300.0);
+}
+
+TEST(NodePower, Fig1Shape_StaticCrossesDynamicAt150C) {
+  // The headline of Fig. 1: at 150 C the static power overtakes the dynamic
+  // before the end of the roadmap; at 25 C it does not overtake until (at
+  // most) the very last nodes.
+  const auto nodes = default_roadmap();
+  int crossover_150 = -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto p = node_power(nodes[i], celsius(150.0));
+    if (p.stat > p.dynamic) {
+      crossover_150 = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(crossover_150, 0) << "static never overtakes dynamic at 150 C";
+  EXPECT_GE(crossover_150, 5);  // happens in the sub-100nm regime, not before
+  // At 25 C, static stays below dynamic through at least node 8 (0.035 um).
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto p = node_power(nodes[i], celsius(25.0));
+    EXPECT_LT(p.stat, p.dynamic) << "node " << nodes[i].feature_um;
+  }
+}
+
+TEST(NodePower, StaticShareGrowsMonotonicallyAcrossNodes) {
+  const auto nodes = default_roadmap();
+  double prev_share = 0.0;
+  for (const auto& n : nodes) {
+    const auto p = node_power(n, celsius(100.0));
+    const double share = p.stat / (p.stat + p.dynamic);
+    EXPECT_GT(share, prev_share * 0.8);  // broadly increasing
+    prev_share = share;
+  }
+  EXPECT_GT(prev_share, 0.3);  // significant at the last node
+}
+
+TEST(NodePower, RejectsNonPositiveTemperature) {
+  const auto nodes = default_roadmap();
+  EXPECT_THROW(node_power(nodes[0], 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ptherm::scaling

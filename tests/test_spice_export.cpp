@@ -1,0 +1,85 @@
+// Tests for the SPICE-deck exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "device/mosfet.hpp"
+#include "spice/circuit.hpp"
+#include "spice/export.hpp"
+
+namespace ptherm::spice {
+namespace {
+
+using device::MosModel;
+using device::MosType;
+using device::Technology;
+
+Circuit inverter_circuit() {
+  const Technology t = Technology::cmos012();
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("DD", vdd, Circuit::ground(), t.vdd);
+  ckt.add_vsource("IN", in, Circuit::ground(), 0.0);
+  ckt.add_mosfet("N1", out, in, Circuit::ground(), Circuit::ground(),
+                 MosModel(t, MosType::Nmos, 0.32e-6, t.l_drawn));
+  ckt.add_mosfet("P1", out, in, vdd, vdd, MosModel(t, MosType::Pmos, 0.8e-6, t.l_drawn));
+  ckt.add_capacitor("L", out, Circuit::ground(), 10e-15);
+  ckt.add_resistor("S", in, Circuit::ground(), 1e6);
+  return ckt;
+}
+
+TEST(SpiceExport, ContainsEveryElementAndModelCards) {
+  std::ostringstream os;
+  export_deck(inverter_circuit(), os);
+  const std::string deck = os.str();
+  for (const char* token :
+       {"VDD vdd 0 DC 1.2", "VIN in 0 DC 0", "MN1 out in 0 0 NMOS_PT", "MP1 out in vdd vdd",
+        "CL out 0 1e-14", "RS in 0 1e+06", ".model NMOS_PT NMOS", ".model PMOS_PT PMOS",
+        ".op", ".end"}) {
+    EXPECT_NE(deck.find(token), std::string::npos) << "missing: " << token;
+  }
+}
+
+TEST(SpiceExport, TemperatureWrittenInCelsius) {
+  std::ostringstream os;
+  ExportOptions opts;
+  opts.temp = 358.15;  // 85 C
+  export_deck(inverter_circuit(), os, opts);
+  EXPECT_NE(os.str().find(".temp 85"), std::string::npos);
+}
+
+TEST(SpiceExport, SubthresholdParametersDocumentedAsComments) {
+  std::ostringstream os;
+  export_deck(inverter_circuit(), os);
+  const std::string deck = os.str();
+  EXPECT_NE(deck.find("* subthreshold"), std::string::npos);
+  EXPECT_NE(deck.find("sigma_DIBL"), std::string::npos);
+}
+
+TEST(SpiceExport, PmosVtoIsNegative) {
+  std::ostringstream os;
+  export_deck(inverter_circuit(), os);
+  EXPECT_NE(os.str().find("PMOS (LEVEL=1 VTO=-0.32"), std::string::npos);
+}
+
+TEST(SpiceExport, DeckWithoutMosfetsHasNoModelCards) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add_vsource("V", a, Circuit::ground(), 1.0);
+  ckt.add_resistor("R", a, Circuit::ground(), 100.0);
+  std::ostringstream os;
+  export_deck(ckt, os);
+  EXPECT_EQ(os.str().find(".model"), std::string::npos);
+  EXPECT_NE(os.str().find("RR a 0 100"), std::string::npos);
+}
+
+TEST(SpiceExport, FileVariantWrites) {
+  const std::string path = "test_export.sp";
+  EXPECT_TRUE(export_deck_file(inverter_circuit(), path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ptherm::spice

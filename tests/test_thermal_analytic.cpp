@@ -1,0 +1,210 @@
+// Tests for the analytic thermal kernels (paper Eqs. 16-20): closed forms
+// against quadrature, asymptotics, and the min() estimator's properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.hpp"
+#include "numerics/quadrature.hpp"
+#include "thermal/analytic.hpp"
+
+namespace ptherm::thermal {
+namespace {
+
+constexpr double kK = 148.0;
+
+TEST(PointSource, InverseDistanceLaw) {
+  const double t1 = point_source_rise(kK, 1.0, 1e-3);
+  const double t2 = point_source_rise(kK, 1.0, 2e-3);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-12);
+  EXPECT_NEAR(t1, 1.0 / (2.0 * std::numbers::pi * kK * 1e-3), 1e-15);
+}
+
+TEST(RectCenter, MatchesClosedCornerFormAtCenter) {
+  const HeatSource src{0.0, 0.0, 4e-6, 1e-6, 1e-3};
+  const double t_center = rect_center_rise(kK, src.power, src.w, src.l);
+  const double t_exact = rect_rise_exact(kK, src, 0.0, 0.0);
+  EXPECT_NEAR(t_center / t_exact, 1.0, 1e-12);
+}
+
+TEST(RectCenter, SymmetricInWAndL) {
+  EXPECT_NEAR(rect_center_rise(kK, 1e-3, 4e-6, 1e-6),
+              rect_center_rise(kK, 1e-3, 1e-6, 4e-6), 1e-15);
+}
+
+TEST(RectCenter, SquareSourceKnownValue) {
+  // For a square (W = L): T0 = P/(pi k W) * 2 asinh(1).
+  const double w = 2e-6;
+  const double expected = 1e-3 / (std::numbers::pi * kK * w) * 2.0 * std::asinh(1.0);
+  EXPECT_NEAR(rect_center_rise(kK, 1e-3, w, w), expected, 1e-12);
+}
+
+TEST(RectExact, MatchesQuadratureEverywhere) {
+  const HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};  // the Fig. 5 device
+  const struct {
+    double x, y;
+  } points[] = {{0.0, 0.0},        {0.2e-6, 0.0},   {0.6e-6, 0.05e-6},
+                {1.5e-6, 0.3e-6},  {0.0, 2e-6},     {-3e-6, -1e-6},
+                {10e-6, 10e-6}};
+  for (const auto& p : points) {
+    const double exact = rect_rise_exact(kK, src, p.x, p.y);
+    const double quad = rect_rise_quadrature(kK, src, p.x, p.y);
+    EXPECT_NEAR(exact / quad, 1.0, 2e-3) << "at (" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(RectExact, ReducesToPointSourceFarAway) {
+  const HeatSource src{0.0, 0.0, 1e-6, 0.5e-6, 1e-3};
+  const double r = 100e-6;  // r >> W, L
+  const double exact = rect_rise_exact(kK, src, r, 0.0);
+  const double point = point_source_rise(kK, src.power, r);
+  EXPECT_NEAR(exact / point, 1.0, 1e-3);
+}
+
+TEST(RectExact, MonotoneDecayAlongAxis) {
+  const HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  double prev = 1e300;
+  for (double x = 0.0; x < 5e-6; x += 0.1e-6) {
+    const double t = rect_rise_exact(kK, src, x, 0.0);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LineSource, MatchesPointSourceFarAway) {
+  const double w = 1e-6;
+  const double r = 200e-6;
+  const double line = line_source_rise(kK, 1e-3, w, 0.0, r);
+  const double point = point_source_rise(kK, 1e-3, r);
+  EXPECT_NEAR(line / point, 1.0, 1e-4);
+}
+
+TEST(LineSource, DivergesOnSegment) {
+  // On the segment itself Eq. (19) blows up (logarithmically, so the IEEE
+  // floor keeps it finite but far above any physical rise); that is exactly
+  // why Eq. (20) clamps with min(T0, .).
+  const double on_segment = line_source_rise(kK, 1e-3, 1e-6, 0.0, 0.0);
+  const double t0_equivalent = rect_center_rise(kK, 1e-3, 1e-6, 0.1e-6);
+  EXPECT_GT(on_segment, 2.0 * t0_equivalent);
+}
+
+TEST(LineSource, SymmetricInY) {
+  const double a = line_source_rise(kK, 1e-3, 1e-6, 0.3e-6, 0.8e-6);
+  const double b = line_source_rise(kK, 1e-3, 1e-6, 0.3e-6, -0.8e-6);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(RectMin, NeverExceedsEitherBound) {
+  const HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  const double t0 = rect_center_rise(kK, src.power, src.w, src.l);
+  for (double x = -2e-6; x <= 2e-6; x += 0.37e-6) {
+    for (double y = -2e-6; y <= 2e-6; y += 0.41e-6) {
+      const double t = rect_rise_min(kK, src, x, y);
+      EXPECT_LE(t, t0 + 1e-15);
+      EXPECT_GT(t, 0.0);
+    }
+  }
+}
+
+TEST(RectMin, SaturatesToT0AtTheSource) {
+  const HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  const double t0 = rect_center_rise(kK, src.power, src.w, src.l);
+  EXPECT_DOUBLE_EQ(rect_rise_min(kK, src, 0.0, 0.0), t0);
+}
+
+TEST(RectMin, Fig5AccuracyBand) {
+  // The Fig. 5 claim: min(T0, Tline) approximates the exact profile well
+  // enough "for the estimation of the thermal profile for large ICs". The
+  // estimator is exact at the centre and in the far field; its worst error
+  // sits right at the source edge, where min() clips the diverging line
+  // kernel at T0 while the exact field already fell to ~T0/2. Quantified:
+  // < 80% inside the edge zone (|x| < 1.2 um), < 25% beyond it.
+  const HeatSource src{0.0, 0.0, 1e-6, 0.1e-6, 10e-3};
+  for (double x = 0.0; x <= 6e-6; x += 0.05e-6) {
+    const double approx = rect_rise_min(kK, src, x, 0.0);
+    const double exact = rect_rise_exact(kK, src, x, 0.0);
+    const double rel = std::abs(approx - exact) / exact;
+    const double band = (x < 1.2e-6) ? 0.80 : 0.25;
+    EXPECT_LT(rel, band) << "x = " << x;
+  }
+  // And it is essentially exact at the centre and far away.
+  EXPECT_NEAR(rect_rise_min(kK, src, 0.0, 0.0) / rect_rise_exact(kK, src, 0.0, 0.0), 1.0,
+              0.02);
+  EXPECT_NEAR(rect_rise_min(kK, src, 5e-6, 0.0) / rect_rise_exact(kK, src, 5e-6, 0.0), 1.0,
+              0.02);
+}
+
+TEST(RectMin, OrientsLineAlongLongerSide) {
+  // A tall skinny source must be treated as a line along y: the profile along
+  // y (through the length) decays slower than across it.
+  const HeatSource tall{0.0, 0.0, 0.1e-6, 1e-6, 1e-3};
+  const double along = rect_rise_min(kK, tall, 0.0, 3e-6);
+  const double across = rect_rise_min(kK, tall, 3e-6, 0.0);
+  const double along_exact = rect_rise_exact(kK, tall, 0.0, 3e-6);
+  const double across_exact = rect_rise_exact(kK, tall, 3e-6, 0.0);
+  // Exact profiles at equal distance are nearly equal far away; the min
+  // estimator must not be wildly asymmetric either.
+  EXPECT_NEAR(along / along_exact, 1.0, 0.2);
+  EXPECT_NEAR(across / across_exact, 1.0, 0.2);
+}
+
+TEST(RectDepth, ReducesToSurfaceFormAtZeroDepth) {
+  const HeatSource src{0.0, 0.0, 2e-6, 1e-6, 1e-3};
+  EXPECT_DOUBLE_EQ(rect_rise_exact_at_depth(kK, src, 0.3e-6, -0.2e-6, 0.0),
+                   rect_rise_exact(kK, src, 0.3e-6, -0.2e-6));
+}
+
+TEST(RectDepth, MatchesQuadratureOfBuriedKernel) {
+  const HeatSource src{0.0, 0.0, 2e-6, 1e-6, 1e-3};
+  const struct {
+    double x, y, z;
+  } points[] = {{0.0, 0.0, 0.5e-6}, {1.5e-6, 0.0, 0.3e-6}, {0.0, 0.0, 3e-6},
+                {-2e-6, 1e-6, 1e-6}};
+  for (const auto& p : points) {
+    auto integrand = [&](double x0, double y0) {
+      const double dx = p.x - x0;
+      const double dy = p.y - y0;
+      return 1.0 / std::sqrt(dx * dx + dy * dy + p.z * p.z);
+    };
+    numerics::QuadratureOptions qopts;
+    qopts.rel_tol = 1e-10;
+    const auto q = numerics::integrate2d(integrand, -1e-6, 1e-6, -0.5e-6, 0.5e-6, qopts);
+    const double expected =
+        src.power / (2.0 * std::numbers::pi * kK * src.w * src.l) * q.value;
+    const double got = rect_rise_exact_at_depth(kK, src, p.x, p.y, p.z);
+    // The bound is set by the adaptive quadrature, not the closed form.
+    EXPECT_NEAR(got / expected, 1.0, 1e-4)
+        << "at (" << p.x << ", " << p.y << ", " << p.z << ")";
+  }
+}
+
+TEST(RectDepth, DecaysMonotonicallyWithDepth) {
+  const HeatSource src{0.0, 0.0, 2e-6, 1e-6, 1e-3};
+  double prev = 1e300;
+  for (double z = 0.0; z <= 5e-6; z += 0.25e-6) {
+    const double t = rect_rise_exact_at_depth(kK, src, 0.0, 0.0, z);
+    EXPECT_LT(t, prev);
+    EXPECT_GT(t, 0.0);
+    prev = t;
+  }
+}
+
+TEST(RectDepth, FarDepthIsPointSource) {
+  const HeatSource src{0.0, 0.0, 2e-6, 1e-6, 1e-3};
+  const double z = 100e-6;
+  EXPECT_NEAR(rect_rise_exact_at_depth(kK, src, 0.0, 0.0, z) /
+                  point_source_rise(kK, src.power, z),
+              1.0, 1e-3);
+}
+
+TEST(RectMin, PowerLinearity) {
+  const HeatSource src1{0.0, 0.0, 1e-6, 0.5e-6, 1e-3};
+  HeatSource src2 = src1;
+  src2.power = 2e-3;
+  EXPECT_NEAR(rect_rise_min(kK, src2, 2e-6, 1e-6),
+              2.0 * rect_rise_min(kK, src1, 2e-6, 1e-6), 1e-15);
+}
+
+}  // namespace
+}  // namespace ptherm::thermal

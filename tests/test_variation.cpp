@@ -1,0 +1,118 @@
+// Tests for the process-variation layer: Gaussian VT0 sampling, the exact
+// lognormal leakage multiplier, and the mean-vs-nominal penalty on a
+// netlist.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "device/variation.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ptherm::device {
+namespace {
+
+Technology tech() { return Technology::cmos012(); }
+
+TEST(Variation, SamplesHaveRequestedMoments) {
+  VariationModel var{0.03};  // 30 mV sigma
+  Rng rng(99);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = var.sample_delta_vt0(rng);
+    sum += d;
+    sum_sq += d * d;
+  }
+  const double mean = sum / n;
+  const double sigma = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 5e-4);
+  EXPECT_NEAR(sigma, 0.03, 5e-4);
+}
+
+TEST(Variation, MultiplierIsExactExponential) {
+  VariationModel var{0.03};
+  const double m_up = var.leakage_multiplier(tech(), -0.03, 300.0);
+  const double m_down = var.leakage_multiplier(tech(), 0.03, 300.0);
+  const double nvt = tech().n_swing * thermal_voltage(300.0);
+  EXPECT_NEAR(m_up, std::exp(0.03 / nvt), 1e-12);
+  EXPECT_NEAR(m_up * m_down, 1.0, 1e-12);  // symmetric in log space
+  EXPECT_DOUBLE_EQ(var.leakage_multiplier(tech(), 0.0, 300.0), 1.0);
+}
+
+TEST(Variation, LognormalMeanPenaltyMatchesClosedForm) {
+  // Monte Carlo of the multiplier must reproduce exp(s^2/2).
+  VariationModel var{0.04};
+  Rng rng(7);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += var.leakage_multiplier(tech(), var.sample_delta_vt0(rng), 300.0);
+  }
+  const double mc_mean = sum / n;
+  EXPECT_NEAR(mc_mean / var.mean_multiplier(tech(), 300.0), 1.0, 0.03);
+  EXPECT_GT(var.mean_multiplier(tech(), 300.0), 1.3);  // s ~ 1.07: real penalty
+}
+
+TEST(Variation, PenaltyShrinksWhenHot) {
+  // s = sigma/(n VT) falls with temperature: variation matters most cold.
+  VariationModel var{0.04};
+  EXPECT_GT(var.mean_multiplier(tech(), 300.0), var.mean_multiplier(tech(), 400.0));
+}
+
+}  // namespace
+}  // namespace ptherm::device
+
+namespace ptherm::netlist {
+namespace {
+
+using device::Technology;
+using device::VariationModel;
+
+Technology tech() { return Technology::cmos012(); }
+
+TEST(VariationLeakage, MeanExceedsNominalByTheLognormalFactor) {
+  Rng build(3);
+  const CellLibrary lib(tech());
+  const auto nl = make_random_netlist(lib, 400, build);
+  const VariationModel var{0.035};
+  Rng mc(4);
+  const auto stats = variation_leakage(nl, tech(), var, 300.0, 300, mc);
+  EXPECT_NEAR(stats.nominal, nl.total_off_current(tech(), 300.0), 1e-15);
+  const double expected_penalty = var.mean_multiplier(tech(), 300.0);
+  EXPECT_NEAR(stats.mean / stats.nominal, expected_penalty, 0.1 * expected_penalty);
+  EXPECT_GT(stats.p95, stats.mean);
+  EXPECT_GT(stats.stddev, 0.0);
+}
+
+TEST(VariationLeakage, ZeroSigmaIsDeterministic) {
+  Rng build(5);
+  const CellLibrary lib(tech());
+  const auto nl = make_random_netlist(lib, 50, build);
+  Rng mc(6);
+  const auto stats = variation_leakage(nl, tech(), VariationModel{0.0}, 300.0, 20, mc);
+  EXPECT_NEAR(stats.mean, stats.nominal, 1e-12 * stats.nominal);
+  EXPECT_LT(stats.stddev, 1e-6 * stats.nominal);  // catastrophic-cancel noise only
+  EXPECT_THROW(variation_leakage(nl, tech(), VariationModel{0.0}, 300.0, 0, mc),
+               PreconditionError);
+}
+
+TEST(VariationLeakage, ManyGatesAverageOut) {
+  // The relative spread of the total shrinks with gate count (independent
+  // per-gate draws): sigma_total/mean ~ 1/sqrt(N).
+  const CellLibrary lib(tech());
+  const VariationModel var{0.035};
+  auto rel_spread = [&](int gates, std::uint64_t seed) {
+    Rng build(seed);
+    const auto nl = make_random_netlist(lib, gates, build);
+    Rng mc(seed + 1);
+    const auto s = variation_leakage(nl, tech(), var, 300.0, 200, mc);
+    return s.stddev / s.mean;
+  };
+  EXPECT_GT(rel_spread(50, 11), 2.0 * rel_spread(800, 13));
+}
+
+}  // namespace
+}  // namespace ptherm::netlist
