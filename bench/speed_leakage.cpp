@@ -112,6 +112,7 @@ void BM_NetlistLeakage(benchmark::State& state) {
     benchmark::DoNotOptimize(nl.total_off_current(tech(), temp));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["gates"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_NetlistLeakage)->Arg(100)->Arg(1000)->Arg(10000);
 

@@ -79,9 +79,13 @@ void BM_FdmSteadySolve(benchmark::State& state) {
   opts.nz = n / 2;
   const thermal::FdmThermalSolver solver(die_1mm(), opts);
   const auto sources = three_sources();
+  int cg_iterations = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve_steady(sources));
+    const auto sol = solver.solve_steady(sources);
+    cg_iterations = sol.cg_iterations;
+    benchmark::DoNotOptimize(sol);
   }
+  state.counters["cg_iterations"] = static_cast<double>(cg_iterations);
 }
 BENCHMARK(BM_FdmSteadySolve)->Arg(16)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
 
@@ -98,6 +102,7 @@ void BM_FdmWarmStartedResolve(benchmark::State& state) {
     sol = solver.solve_steady(sources, &sol.rise);
     benchmark::DoNotOptimize(sol);
   }
+  state.counters["cg_iterations"] = static_cast<double>(sol.cg_iterations);
 }
 BENCHMARK(BM_FdmWarmStartedResolve)->Unit(benchmark::kMillisecond);
 

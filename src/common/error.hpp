@@ -31,6 +31,12 @@ class ConvergenceError : public Error {
   explicit ConvergenceError(const std::string& what) : Error(what) {}
 };
 
+/// A file could not be read, or its contents are malformed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
                                             const std::string& msg) {

@@ -1,7 +1,11 @@
 #include "thermal/map_io.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -12,6 +16,16 @@ void check(const SurfaceMap& map) {
   PTHERM_REQUIRE(map.nx >= 1 && map.ny >= 1, "SurfaceMap: empty grid");
   PTHERM_REQUIRE(map.values.size() == static_cast<std::size_t>(map.nx) * map.ny,
                  "SurfaceMap: size mismatch");
+}
+
+/// Normalizes `value` into [0, 1] for rendering. Non-finite inputs (maps
+/// dumped from a diverged solve) must not reach the shade lookup as UB:
+/// +inf renders hottest, NaN and -inf coolest.
+double unit_shade(double value, double lo, double span) {
+  if (!std::isfinite(value)) return value > 0.0 ? 1.0 : 0.0;
+  const double t = (value - lo) / span;
+  if (!std::isfinite(t)) return 0.0;  // infinite span: finite values rank coolest
+  return std::clamp(t, 0.0, 1.0);
 }
 }  // namespace
 
@@ -35,7 +49,7 @@ bool write_pgm(const SurfaceMap& map, const std::string& path) {
   out << "P5\n" << map.nx << " " << map.ny << "\n255\n";
   for (int j = map.ny - 1; j >= 0; --j) {  // row 0 at the image bottom
     for (int i = 0; i < map.nx; ++i) {
-      const double t = (map.at(i, j) - lo) / span;
+      const double t = unit_shade(map.at(i, j), lo, span);
       out.put(static_cast<char>(static_cast<unsigned char>(255.0 * t + 0.5)));
     }
   }
@@ -46,6 +60,7 @@ bool write_gnuplot_matrix(const SurfaceMap& map, const std::string& path) {
   check(map);
   std::ofstream out(path);
   if (!out) return false;
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "# gnuplot: plot '" << path << "' matrix with image\n";
   for (int j = 0; j < map.ny; ++j) {
     for (int i = 0; i < map.nx; ++i) {
@@ -55,6 +70,51 @@ bool write_gnuplot_matrix(const SurfaceMap& map, const std::string& path) {
     out << "\n";
   }
   return static_cast<bool>(out);
+}
+
+SurfaceMap read_gnuplot_matrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("read_gnuplot_matrix: cannot open '" + path + "'");
+
+  SurfaceMap map;
+  std::string line;
+  int row = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    int width = 0;
+    std::string tok;
+    // strtod rather than operator>>: the writer emits "inf"/"nan" for
+    // non-finite temperatures (e.g. maps dumped from a diverged solve) and
+    // operator>> cannot read those back.
+    while (tokens >> tok) {
+      char* end = nullptr;
+      const double value = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size()) {
+        std::ostringstream os;
+        os << "read_gnuplot_matrix: non-numeric token '" << tok << "' in '" << path
+           << "' row " << row;
+        throw IoError(os.str());
+      }
+      map.values.push_back(value);
+      ++width;
+    }
+    if (width == 0) continue;  // whitespace-only (e.g. a stray CR) is not a row
+    if (row == 0) {
+      map.nx = width;
+    } else if (width != map.nx) {
+      std::ostringstream os;
+      os << "read_gnuplot_matrix: ragged row " << row << " in '" << path << "' ("
+         << width << " values, expected " << map.nx << ")";
+      throw IoError(os.str());
+    }
+    ++row;
+  }
+  map.ny = row;
+  if (map.nx < 1 || map.ny < 1) {
+    throw IoError("read_gnuplot_matrix: no data rows in '" + path + "'");
+  }
+  return map;
 }
 
 std::string render_ascii(const SurfaceMap& map) {
@@ -67,7 +127,7 @@ std::string render_ascii(const SurfaceMap& map) {
   out.reserve(static_cast<std::size_t>((map.nx + 1) * map.ny));
   for (int j = map.ny - 1; j >= 0; --j) {
     for (int i = 0; i < map.nx; ++i) {
-      const int level = static_cast<int>(9.999 * (map.at(i, j) - lo) / span);
+      const int level = static_cast<int>(9.999 * unit_shade(map.at(i, j), lo, span));
       out += shades[level];
     }
     out += '\n';

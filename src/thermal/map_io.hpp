@@ -25,8 +25,16 @@ struct SurfaceMap {
 /// file cannot be opened.
 bool write_pgm(const SurfaceMap& map, const std::string& path);
 
-/// Writes a gnuplot "matrix" file (`plot 'f' matrix with image`).
+/// Writes a gnuplot "matrix" file (`plot 'f' matrix with image`). Values are
+/// written with max_digits10 precision so a read_gnuplot_matrix round trip
+/// reproduces every finite temperature bitwise (+-inf survives too; NaN
+/// reads back as a quiet NaN without its payload bits).
 bool write_gnuplot_matrix(const SurfaceMap& map, const std::string& path);
+
+/// Reads a map previously written by write_gnuplot_matrix (leading '#'
+/// comment lines are skipped). Throws ptherm::IoError when the file is
+/// missing, empty, ragged, or contains a non-numeric token.
+SurfaceMap read_gnuplot_matrix(const std::string& path);
 
 /// ASCII isotherm rendering with 10 shade levels (what the benches print).
 std::string render_ascii(const SurfaceMap& map);

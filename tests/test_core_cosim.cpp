@@ -89,7 +89,9 @@ TEST(Cosim, InfluenceMatrixIsPositiveWithDominantDiagonal) {
   for (std::size_t i = 0; i < m.size(); ++i) {
     for (std::size_t j = 0; j < m.size(); ++j) {
       EXPECT_GT(m[i][j], 0.0);
-      if (i != j) EXPECT_GT(m[i][i], m[i][j]);  // self-heating dominates
+      if (i != j) {
+        EXPECT_GT(m[i][i], m[i][j]);  // self-heating dominates
+      }
     }
   }
 }

@@ -31,7 +31,7 @@ TEST(SurfaceMap, MinMaxAndAt) {
   bad.nx = 2;
   bad.ny = 2;
   bad.values.resize(3);
-  EXPECT_THROW(bad.min_value(), PreconditionError);
+  EXPECT_THROW((void)bad.min_value(), PreconditionError);
 }
 
 TEST(MapIo, PgmHeaderAndSize) {

@@ -1,0 +1,190 @@
+// Golden-file and round-trip tests for the thermal-map reader/writer pair:
+// write_gnuplot_matrix -> read_gnuplot_matrix must reproduce every
+// temperature bitwise, the checked-in golden file pins the on-disk format,
+// and malformed inputs must fail loudly through ptherm::IoError.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/error.hpp"
+#include "thermal/map_io.hpp"
+
+namespace ptherm::thermal {
+namespace {
+
+// A map whose values exercise the printer: non-representable decimals,
+// denormal-adjacent magnitudes, negatives, and exact zeros.
+SurfaceMap awkward_map() {
+  SurfaceMap m;
+  m.nx = 3;
+  m.ny = 4;
+  m.values = {0.1,   318.15,    1e-30, -2.5,  6.62607015e-34, 299792458.0,
+              3.141592653589793, 1.0 / 3.0, 404.0, 1e300, -1e-300, 0.0};
+  return m;
+}
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(MapIoGolden, WriteReadRoundTripIsBitwiseStable) {
+  const auto m = awkward_map();
+  const std::string path = "test_map_io_roundtrip.dat";
+  ASSERT_TRUE(write_gnuplot_matrix(m, path));
+  const SurfaceMap back = read_gnuplot_matrix(path);
+  ASSERT_EQ(back.nx, m.nx);
+  ASSERT_EQ(back.ny, m.ny);
+  ASSERT_EQ(back.values.size(), m.values.size());
+  for (std::size_t k = 0; k < m.values.size(); ++k) {
+    EXPECT_TRUE(bitwise_equal(back.values[k], m.values[k]))
+        << "value " << k << " drifted: wrote " << m.values[k] << ", read "
+        << back.values[k];
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, SecondGenerationFileIsByteIdentical) {
+  // Format stability: writing what we read must reproduce the same bytes
+  // (modulo the comment line, which embeds the output path).
+  const auto m = awkward_map();
+  const std::string p1 = "test_map_io_gen1.dat";
+  const std::string p2 = "test_map_io_gen2.dat";
+  ASSERT_TRUE(write_gnuplot_matrix(m, p1));
+  ASSERT_TRUE(write_gnuplot_matrix(read_gnuplot_matrix(p1), p2));
+  auto data_lines = [](const std::string& path) {
+    std::ifstream in(path);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') {
+        out += line;
+        out += '\n';
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(data_lines(p1), data_lines(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(MapIoGolden, GoldenFileParsesToExactValues) {
+  // tests/data/golden_map.dat is checked in; if the reader (or the format)
+  // changes incompatibly, this fails before any user notices.
+  const SurfaceMap m = read_gnuplot_matrix(std::string(PTHERM_TEST_DATA_DIR) +
+                                           "/golden_map.dat");
+  const auto expected = awkward_map();
+  ASSERT_EQ(m.nx, expected.nx);
+  ASSERT_EQ(m.ny, expected.ny);
+  for (std::size_t k = 0; k < expected.values.size(); ++k) {
+    EXPECT_TRUE(bitwise_equal(m.values[k], expected.values[k]))
+        << "golden value " << k << " parsed as " << m.values[k] << ", expected "
+        << expected.values[k];
+  }
+}
+
+TEST(MapIoGolden, NonFiniteValuesSurviveTheRoundTrip) {
+  // Maps dumped from a diverged (runaway) solve can hold inf/NaN; the writer
+  // emits "inf"/"nan" text, so the reader must take those tokens back.
+  SurfaceMap m;
+  m.nx = 2;
+  m.ny = 2;
+  const double inf = std::numeric_limits<double>::infinity();
+  m.values = {1.0, inf, -inf, std::numeric_limits<double>::quiet_NaN()};
+  const std::string path = "test_map_io_nonfinite.dat";
+  ASSERT_TRUE(write_gnuplot_matrix(m, path));
+  const SurfaceMap back = read_gnuplot_matrix(path);
+  ASSERT_EQ(back.values.size(), 4u);
+  EXPECT_TRUE(bitwise_equal(back.values[0], 1.0));
+  EXPECT_TRUE(bitwise_equal(back.values[1], inf));
+  EXPECT_TRUE(bitwise_equal(back.values[2], -inf));
+  EXPECT_TRUE(std::isnan(back.values[3]));
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, NonFiniteMapsRenderWithoutCrashing) {
+  // Pre-PR-1 the renderers normalized by span = inf and indexed the shade
+  // table with the resulting NaN (out-of-bounds read, observed segfault).
+  SurfaceMap m;
+  m.nx = 2;
+  m.ny = 2;
+  const double inf = std::numeric_limits<double>::infinity();
+  m.values = {1.0, inf, -inf, std::numeric_limits<double>::quiet_NaN()};
+  // Map row 1 (-inf, NaN) renders first, then row 0 (1.0, +inf).
+  const std::string art = render_ascii(m);
+  ASSERT_EQ(art.size(), 6u);
+  EXPECT_EQ(art[0], ' ');  // -inf the coolest shade
+  EXPECT_EQ(art[1], ' ');  // NaN renders coolest, not out of bounds
+  EXPECT_EQ(art[4], '@');  // +inf the hottest
+  const std::string path = "test_map_io_nonfinite.pgm";
+  EXPECT_TRUE(write_pgm(m, path));
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, WhitespaceOnlyLinesAreNotRows) {
+  // Hand-edited or CRLF-converted files grow "blank" lines of spaces or bare
+  // CRs; gnuplot ignores them and so must the reader.
+  const std::string path = "test_map_io_blanks.dat";
+  {
+    std::ofstream out(path);
+    out << " \n1 2\n\r\n3 4\n   \n";
+  }
+  const SurfaceMap m = read_gnuplot_matrix(path);
+  EXPECT_EQ(m.nx, 2);
+  EXPECT_EQ(m.ny, 2);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, MissingFileThrowsIoError) {
+  EXPECT_THROW(read_gnuplot_matrix("no_such_directory/no_such_map.dat"), IoError);
+}
+
+TEST(MapIoGolden, RaggedRowsThrowIoError) {
+  const std::string path = "test_map_io_ragged.dat";
+  {
+    std::ofstream out(path);
+    out << "1 2 3\n4 5\n";
+  }
+  EXPECT_THROW(read_gnuplot_matrix(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, NonNumericTokenThrowsIoError) {
+  const std::string path = "test_map_io_garbage.dat";
+  {
+    std::ofstream out(path);
+    out << "1 2 3\n4 five 6\n";
+  }
+  EXPECT_THROW(read_gnuplot_matrix(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, CommentOnlyFileThrowsIoError) {
+  const std::string path = "test_map_io_empty.dat";
+  {
+    std::ofstream out(path);
+    out << "# gnuplot: nothing follows\n\n";
+  }
+  EXPECT_THROW(read_gnuplot_matrix(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(MapIoGolden, IoErrorIsAPthermError) {
+  // Callers catching the library base class must see file problems too.
+  const bool caught = [] {
+    try {
+      read_gnuplot_matrix("no_such_map_anywhere.dat");
+    } catch (const Error&) {
+      return true;
+    }
+    return false;
+  }();
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace ptherm::thermal

@@ -140,7 +140,7 @@ TEST(Netlist, MonteCarloStatsAreConsistent) {
   EXPECT_GE(stats.stddev, 0.0);
   // Leakage spread across vectors is real but bounded for 200 gates.
   EXPECT_LT(stats.stddev / stats.mean, 0.5);
-  EXPECT_THROW(nl.monte_carlo_leakage(tech(), 300.0, 0, mc_rng), PreconditionError);
+  EXPECT_THROW((void)nl.monte_carlo_leakage(tech(), 300.0, 0, mc_rng), PreconditionError);
 }
 
 TEST(Netlist, RandomNetlistIsDeterministicPerSeed) {

@@ -103,7 +103,7 @@ TEST(NodePower, StaticShareGrowsMonotonicallyAcrossNodes) {
 
 TEST(NodePower, RejectsNonPositiveTemperature) {
   const auto nodes = default_roadmap();
-  EXPECT_THROW(node_power(nodes[0], 0.0), PreconditionError);
+  EXPECT_THROW((void)node_power(nodes[0], 0.0), PreconditionError);
 }
 
 }  // namespace
