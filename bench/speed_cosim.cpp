@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "core/cosim.hpp"
+#include "core/influence.hpp"
 #include "core/rc_network.hpp"
 #include "floorplan/generators.hpp"
 
@@ -62,14 +63,59 @@ void BM_CosimFdm(benchmark::State& state) {
   opts.fdm.ny = 32;
   opts.fdm.nz = 16;
   core::CosimResult last;
+  long long cg_iterations = 0;
   for (auto _ : state) {
     core::ElectroThermalSolver solver(device::Technology::cmos012(), fp, opts);
     last = solver.solve();
+    cg_iterations = solver.influence_build_stats().cg_iterations;
     benchmark::DoNotOptimize(last);
   }
   record_solve(state, last);
+  state.counters["cg_iterations"] = static_cast<double>(cg_iterations);
 }
 BENCHMARK(BM_CosimFdm)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The influence-build trajectory point at >= 32 blocks: the batched
+// warm-started IC(0) build (the PR-2 hot path) versus the seed semantics —
+// per-column cold starts with the Jacobi-preconditioned CG the seed shipped.
+// Solvers are constructed outside the loop in both cases (the seed also
+// assembled once); the delta is pure solve work.
+void BM_InfluenceBuildFdm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  const auto tech = device::Technology::cmos012();
+  thermal::FdmOptions opts;  // IC(0) by default
+  const thermal::FdmThermalSolver solver(fp.die(), opts);
+  const auto sources = fp.heat_sources(tech);
+  const auto samples = core::block_centre_samples(fp);
+  core::InfluenceBuildStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_influence_fdm(solver, sources, samples, true, &stats));
+  }
+  state.counters["cg_iterations"] = static_cast<double>(stats.cg_iterations);
+  state.counters["blocks"] = static_cast<double>(sources.size());
+}
+BENCHMARK(BM_InfluenceBuildFdm)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_InfluenceBuildFdmSeedPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  const auto tech = device::Technology::cmos012();
+  thermal::FdmOptions opts;
+  opts.cg.preconditioner = numerics::CgPreconditioner::Jacobi;
+  const thermal::FdmThermalSolver solver(fp.die(), opts);
+  const auto sources = fp.heat_sources(tech);
+  const auto samples = core::block_centre_samples(fp);
+  core::InfluenceBuildStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_influence_fdm(solver, sources, samples, false, &stats));
+  }
+  state.counters["cg_iterations"] = static_cast<double>(stats.cg_iterations);
+  state.counters["blocks"] = static_cast<double>(sources.size());
+}
+BENCHMARK(BM_InfluenceBuildFdmSeedPath)->Arg(6)->Unit(benchmark::kMillisecond);
 
 void BM_CosimIterationOnly(benchmark::State& state) {
   // The fixed point after the influence matrix exists: this is the marginal

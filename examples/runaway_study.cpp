@@ -48,7 +48,7 @@ int main() {
     const double t_hot = r.blocks[hot].temperature;
     const double dp_dt = (solver.block_leakage_power(hot, t_hot + 0.5) -
                           solver.block_leakage_power(hot, t_hot - 0.5));
-    const double gain = solver.influence_matrix()[hot][hot] * dp_dt;
+    const double gain = solver.influence_matrix().at(hot, hot) * dp_dt;
 
     table.add_row({p_dyn,
                    std::string(r.runaway ? "RUNAWAY" : (r.converged ? "ok" : "no-conv")),

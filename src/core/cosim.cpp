@@ -18,43 +18,23 @@ ElectroThermalSolver::ElectroThermalSolver(device::Technology tech, floorplan::F
 }
 
 void ElectroThermalSolver::build_influence() {
-  const auto& blocks = fp_.blocks();
-  const std::size_t n = blocks.size();
-  influence_.assign(n, std::vector<double>(n, 0.0));
-
-  // Both backends are linear in the injected power, so the influence matrix
-  // captures them exactly: R[i][j] = rise at block i per watt in block j.
+  // Both backends are linear in the injected power, so the influence
+  // operator captures them exactly: R[i][j] = rise at block i per watt in
+  // block j. Construction is batched per column — see core/influence.hpp.
+  const auto samples = block_centre_samples(fp_);
   std::vector<thermal::HeatSource> sources = fp_.heat_sources(tech_);
-  for (auto& s : sources) s.power = 0.0;
 
   if (opts_.backend == ThermalBackend::Analytic) {
-    thermal::ChipThermalModel model(fp_.die(), sources, opts_.images);
-    for (std::size_t j = 0; j < n; ++j) {
-      model.set_source_power(j, 1.0);
-      for (std::size_t i = 0; i < n; ++i) {
-        influence_[i][j] = model.rise(blocks[i].rect.cx(), blocks[i].rect.cy());
-      }
-      model.set_source_power(j, 0.0);
-    }
+    influence_ = build_influence_analytic(fp_.die(), std::move(sources), samples, opts_.images);
+    influence_stats_ = {static_cast<int>(samples.size()), 0};
   } else if (opts_.backend == ThermalBackend::Fdm) {
-    thermal::FdmThermalSolver solver(fp_.die(), opts_.fdm);
-    for (std::size_t j = 0; j < n; ++j) {
-      std::vector<thermal::HeatSource> single = {sources[j]};
-      single[0].power = 1.0;
-      const auto sol = solver.solve_steady(single);
-      PTHERM_REQUIRE(sol.converged, "influence: FDM solve did not converge");
-      for (std::size_t i = 0; i < n; ++i) {
-        influence_[i][j] = solver.surface_rise(sol, blocks[i].rect.cx(), blocks[i].rect.cy());
-      }
-    }
+    const thermal::FdmThermalSolver solver(fp_.die(), opts_.fdm);
+    influence_ =
+        build_influence_fdm(solver, std::move(sources), samples, true, &influence_stats_);
   }
   // Package resistance couples every pair uniformly: each watt anywhere
   // raises the whole die by r_package.
-  if (opts_.r_package > 0.0) {
-    for (auto& row : influence_) {
-      for (double& r : row) r += opts_.r_package;
-    }
-  }
+  if (opts_.r_package > 0.0) influence_.add_uniform(opts_.r_package);
 }
 
 double ElectroThermalSolver::block_leakage_power(std::size_t i, double temp) const {
@@ -71,6 +51,7 @@ CosimResult ElectroThermalSolver::solve() {
 
   std::vector<double> temps(n, t_sink);
   std::vector<double> powers(n, 0.0);
+  std::vector<double> rises(n, 0.0);
   double prev_delta = 0.0;
   int growth_streak = 0;
 
@@ -79,12 +60,11 @@ CosimResult ElectroThermalSolver::solve() {
     for (std::size_t j = 0; j < n; ++j) {
       powers[j] = blocks[j].p_dynamic + block_leakage_power(j, temps[j]);
     }
+    influence_.apply(powers, rises);
     double max_delta = 0.0;
     double max_rise = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      double rise = 0.0;
-      for (std::size_t j = 0; j < n; ++j) rise += influence_[i][j] * powers[j];
-      const double target = t_sink + rise;
+      const double target = t_sink + rises[i];
       const double updated = temps[i] + opts_.damping * (target - temps[i]);
       max_delta = std::max(max_delta, std::abs(updated - temps[i]));
       temps[i] = updated;

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/influence.hpp"
 #include "floorplan/floorplan.hpp"
 #include "thermal/fdm.hpp"
 #include "thermal/images.hpp"
@@ -70,12 +71,16 @@ class ElectroThermalSolver {
   /// for the runaway-analysis bench).
   [[nodiscard]] double block_leakage_power(std::size_t i, double temp) const;
 
-  /// Thermal influence matrix R[i][j] = rise at block i's centre per watt in
-  /// block j [K/W], as realised by the configured backend. Computed lazily
-  /// by solve(); exposed because the runaway criterion (spectral condition
+  /// Thermal influence operator R[i][j] = rise at block i's centre per watt
+  /// in block j [K/W], as realised by the configured backend. Built at
+  /// construction; exposed because the runaway criterion (spectral condition
   /// R * dP/dT < 1) is an ablation bench.
-  [[nodiscard]] const std::vector<std::vector<double>>& influence_matrix() const {
-    return influence_;
+  [[nodiscard]] const InfluenceOperator& influence_matrix() const noexcept { return influence_; }
+
+  /// Cost counters from the influence build (FDM CG iterations etc.), for
+  /// the perf-trajectory benches.
+  [[nodiscard]] const InfluenceBuildStats& influence_build_stats() const noexcept {
+    return influence_stats_;
   }
 
  private:
@@ -84,7 +89,8 @@ class ElectroThermalSolver {
   device::Technology tech_;
   floorplan::Floorplan fp_;
   CosimOptions opts_;
-  std::vector<std::vector<double>> influence_;
+  InfluenceOperator influence_;
+  InfluenceBuildStats influence_stats_;
 };
 
 }  // namespace ptherm::core

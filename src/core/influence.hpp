@@ -1,0 +1,91 @@
+// Thermal influence operator: the dense block-to-block coupling R[i][j] =
+// rise at sample point i per watt injected in block j [K/W] that the
+// concurrent electro-thermal fixed point iterates on. Both thermal backends
+// are linear in injected power, so the operator captures them exactly; it is
+// precomputed once and the Picard loop then costs one dense matvec per
+// iteration (flat row-major storage, no pointer chasing).
+//
+// Construction is batched per column:
+//  * Analytic: a single-source image model per column evaluates only that
+//    column's mirror images — the per-sample sweep over every other source's
+//    zero-power images the naive build pays is pure waste (superposition:
+//    zero-power sources contribute exactly nothing).
+//  * FDM: one FdmThermalSolver is reused for every column (one stencil
+//    assembly + one IC(0) factorization), and each unit-source CG solve is
+//    warm-started from the previous column's field translated onto the new
+//    source position — adjacent blocks have near-identical fields up to
+//    that lateral shift.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "numerics/dense.hpp"
+#include "thermal/fdm.hpp"
+#include "thermal/images.hpp"
+
+namespace ptherm::core {
+
+/// Surface point an influence row reports the rise at (a block centre in the
+/// co-simulation use).
+struct InfluenceSample {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Cost counters from an influence build, for the perf trajectory.
+struct InfluenceBuildStats {
+  int columns = 0;                 ///< unit-source solves performed
+  long long cg_iterations = 0;     ///< total CG iterations (FDM backend only)
+};
+
+/// Square dense influence operator over flat row-major storage.
+class InfluenceOperator {
+ public:
+  InfluenceOperator() = default;
+  explicit InfluenceOperator(numerics::Matrix r);
+
+  [[nodiscard]] std::size_t size() const noexcept { return r_.rows(); }
+
+  /// R[i][j], bounds-checked.
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+
+  /// Adds `resistance` [K/W] to every entry — a lumped package/heat-sink
+  /// path couples every pair of blocks uniformly.
+  void add_uniform(double resistance);
+
+  /// rises = R * powers (sizes must equal size()); allocation-free.
+  void apply(std::span<const double> powers, std::span<double> rises) const;
+  [[nodiscard]] std::vector<double> apply(std::span<const double> powers) const;
+
+  [[nodiscard]] const numerics::Matrix& matrix() const noexcept { return r_; }
+
+ private:
+  numerics::Matrix r_;
+};
+
+/// Block centres of a floorplan — the sample points the co-simulation uses.
+[[nodiscard]] std::vector<InfluenceSample> block_centre_samples(const floorplan::Floorplan& fp);
+
+/// Batched analytic build: column j comes from a single-source image model
+/// (only source j's images are evaluated). `sources` supplies geometry; the
+/// powers are ignored (unit power per column).
+[[nodiscard]] InfluenceOperator build_influence_analytic(
+    const thermal::Die& die, std::vector<thermal::HeatSource> sources,
+    std::span<const InfluenceSample> samples, const thermal::ImageOptions& opts = {});
+
+/// Batched FDM build against a caller-owned solver (stencil assembled and
+/// factorized once for all columns). With `warm_start`, column j's CG starts
+/// from the previous column's field translated (edge-replicated) onto this
+/// column's source position; pass false for the reference per-column
+/// cold-start build. Throws
+/// ptherm::PreconditionError naming the column, the failure mode (CG
+/// breakdown versus iteration limit), and the residual if a column fails to
+/// converge.
+[[nodiscard]] InfluenceOperator build_influence_fdm(
+    const thermal::FdmThermalSolver& solver, std::vector<thermal::HeatSource> sources,
+    std::span<const InfluenceSample> samples, bool warm_start = true,
+    InfluenceBuildStats* stats = nullptr);
+
+}  // namespace ptherm::core

@@ -18,16 +18,11 @@ RcThermalNetwork::RcThermalNetwork(device::Technology tech, floorplan::Floorplan
   PTHERM_REQUIRE(opts_.depth_fraction > 0.0 && opts_.depth_fraction <= 1.0,
                  "RcThermalNetwork: depth_fraction in (0, 1]");
 
-  // Influence matrix from the steady solver (closed form by default), then
+  // Influence operator from the steady solver (closed form by default), then
   // G = R^-1 via dense LU (N is the block count — tens, not thousands).
   ElectroThermalSolver steady(tech_, fp_, opts_.steady);
-  const auto& r = steady.influence_matrix();
-  const std::size_t n = r.size();
-  numerics::Matrix rm(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) rm(i, j) = r[i][j];
-  }
-  const numerics::LuFactorization lu(std::move(rm));
+  const std::size_t n = steady.influence_matrix().size();
+  const numerics::LuFactorization lu(steady.influence_matrix().matrix());
   g_.assign(n, std::vector<double>(n, 0.0));
   std::vector<double> unit(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {

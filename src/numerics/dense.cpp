@@ -13,15 +13,19 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
 std::vector<double> Matrix::multiply(std::span<const double> x) const {
-  PTHERM_REQUIRE(x.size() == cols_, "matrix-vector size mismatch");
   std::vector<double> y(rows_, 0.0);
+  multiply(x, y);
+  return y;
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+  PTHERM_REQUIRE(x.size() == cols_ && y.size() == rows_, "matrix-vector size mismatch");
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
     const double* row = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
     y[r] = sum;
   }
-  return y;
 }
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {

@@ -30,6 +30,10 @@ class Matrix {
   /// y = A*x (sizes must agree).
   [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
 
+  /// y = A*x into caller storage — the allocation-free form hot loops
+  /// (e.g. the electro-thermal fixed point's influence matvec) iterate on.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
   [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/error.hpp"
 
@@ -73,8 +74,93 @@ std::vector<double> CsrMatrix::diagonal() const {
   return d;
 }
 
+IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a) {
+  PTHERM_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
+  const std::size_t n = a.rows();
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_indices();
+  const auto av = a.values();
+
+  // Copy the lower triangle (diagonal last — CSR columns are sorted).
+  row_ptr_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+      if (aci[k] <= i) ++row_ptr_[i + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(row_ptr_[n]);
+  values_.resize(row_ptr_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t out = row_ptr_[i];
+    bool has_diag = false;
+    for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+      if (aci[k] > i) break;
+      col_idx_[out] = aci[k];
+      values_[out] = av[k];
+      has_diag = has_diag || aci[k] == i;
+      ++out;
+    }
+    PTHERM_REQUIRE(has_diag && values_[row_ptr_[i + 1] - 1] > 0.0,
+                   "IC(0): row lacks a positive diagonal (matrix not SPD?)");
+  }
+
+  // Up-looking IC(0): L(i,k) = (A(i,k) - sum_j L(i,j) L(k,j)) / L(k,k) over
+  // the shared sparsity j < k, then the diagonal picks up the remainder. A
+  // two-pointer merge over the (sorted) partial rows evaluates each inner
+  // product; stencil rows hold <= 4 lower entries so the cost is linear.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t begin = row_ptr_[i];
+    const std::size_t diag = row_ptr_[i + 1] - 1;
+    for (std::size_t ik = begin; ik < diag; ++ik) {
+      const std::size_t k = col_idx_[ik];
+      double s = values_[ik];
+      std::size_t pi = begin;
+      std::size_t pk = row_ptr_[k];
+      const std::size_t k_diag = row_ptr_[k + 1] - 1;
+      while (pi < ik && pk < k_diag) {
+        if (col_idx_[pi] == col_idx_[pk]) {
+          s -= values_[pi] * values_[pk];
+          ++pi;
+          ++pk;
+        } else if (col_idx_[pi] < col_idx_[pk]) {
+          ++pi;
+        } else {
+          ++pk;
+        }
+      }
+      values_[ik] = s / values_[k_diag];
+    }
+    double d = values_[diag];
+    for (std::size_t ik = begin; ik < diag; ++ik) d -= values_[ik] * values_[ik];
+    PTHERM_REQUIRE(d > 0.0, "IC(0) breakdown: non-positive pivot (matrix not SPD enough)");
+    values_[diag] = std::sqrt(d);
+  }
+}
+
+void IncompleteCholesky::apply(std::span<const double> r, std::span<double> z) const {
+  const std::size_t n = dimension();
+  PTHERM_REQUIRE(r.size() == n && z.size() == n, "IC apply size mismatch");
+  // Forward solve L y = r (y stored in z).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = r[i];
+    const std::size_t diag = row_ptr_[i + 1] - 1;
+    for (std::size_t k = row_ptr_[i]; k < diag; ++k) s -= values_[k] * z[col_idx_[k]];
+    z[i] = s / values_[diag];
+  }
+  // Backward solve L^T z = y, row-oriented: once z[i] is final, scatter its
+  // contribution up the columns of L^T (= rows of L).
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t diag = row_ptr_[i + 1] - 1;
+    z[i] /= values_[diag];
+    const double zi = z[i];
+    for (std::size_t k = row_ptr_[i]; k < diag; ++k) z[col_idx_[k]] -= values_[k] * zi;
+  }
+}
+
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
-                            const CgOptions& opts, std::span<const double> x0) {
+                            const CgOptions& opts, std::span<const double> x0,
+                            const IncompleteCholesky* ic) {
   PTHERM_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
   PTHERM_REQUIRE(b.size() == a.rows(), "CG rhs size mismatch");
   const std::size_t n = a.rows();
@@ -85,11 +171,29 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
     std::copy(x0.begin(), x0.end(), result.x.begin());
   }
 
-  std::vector<double> diag = a.diagonal();
-  for (double& d : diag) {
-    PTHERM_REQUIRE(d > 0.0, "CG: non-positive diagonal (matrix not SPD?)");
-    d = 1.0 / d;
+  std::optional<IncompleteCholesky> local_ic;
+  if (ic == nullptr && opts.preconditioner == CgPreconditioner::IncompleteCholesky) {
+    local_ic.emplace(a);
+    ic = &*local_ic;
   }
+  PTHERM_REQUIRE(ic == nullptr || ic->dimension() == n, "CG: preconditioner size mismatch");
+  // The Jacobi diagonal doubles as the SPD sanity check; the IC constructor
+  // performs its own, so skip the O(nnz) extraction when a factor is in use.
+  std::vector<double> diag;
+  if (ic == nullptr) {
+    diag = a.diagonal();
+    for (double& d : diag) {
+      PTHERM_REQUIRE(d > 0.0, "CG: non-positive diagonal (matrix not SPD?)");
+      d = 1.0 / d;
+    }
+  }
+  auto precondition = [&](const std::vector<double>& res, std::vector<double>& out) {
+    if (ic != nullptr) {
+      ic->apply(res, out);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = diag[i] * res[i];
+    }
+  };
 
   const double norm_b = std::sqrt(std::inner_product(b.begin(), b.end(), b.begin(), 0.0));
   if (norm_b == 0.0) {
@@ -110,14 +214,27 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
       return result;
     }
   }
-  for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
+  precondition(r, z);
   p = z;
   double rz = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     a.multiply(p, ap);
     const double p_ap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
-    if (p_ap <= 0.0) break;  // loss of positive-definiteness
+    if (p_ap <= 0.0) {
+      // Loss of positive-definiteness. The recurrence residual no longer
+      // describes result.x, so recompute it from the returned iterate and
+      // say what happened instead of silently handing back converged=false.
+      result.breakdown = true;
+      a.multiply(result.x, ap);
+      double nr = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ri = b[i] - ap[i];
+        nr += ri * ri;
+      }
+      result.residual = std::sqrt(nr) / norm_b;
+      return result;
+    }
     const double alpha = rz / p_ap;
     for (std::size_t i = 0; i < n; ++i) result.x[i] += alpha * p[i];
     for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
@@ -128,7 +245,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
       result.converged = true;
       return result;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
+    precondition(r, z);
     const double rz_new = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
     const double beta = rz_new / rz;
     rz = rz_new;

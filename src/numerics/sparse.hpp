@@ -51,6 +51,12 @@ class CsrMatrix {
   /// Diagonal entries (0 where the row has no diagonal).
   [[nodiscard]] std::vector<double> diagonal() const;
 
+  /// Raw CSR arrays (columns sorted ascending within each row); used by
+  /// factorizations that must walk the sparsity pattern directly.
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const std::size_t> col_indices() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -59,21 +65,58 @@ class CsrMatrix {
   std::vector<double> values_;
 };
 
+/// Zero-fill incomplete Cholesky factorization A ~= L L^T on the lower
+/// triangle of A's sparsity pattern. For the M-matrices the FDM thermal
+/// stencils produce, IC(0) exists without breakdown (Meijerink & van der
+/// Vorst) and cuts PCG iteration counts severalfold versus Jacobi; the
+/// constructor throws ptherm::PreconditionError if a pivot is not positive
+/// (matrix too indefinite for the incomplete factor).
+class IncompleteCholesky {
+ public:
+  explicit IncompleteCholesky(const CsrMatrix& a);
+
+  /// z = (L L^T)^{-1} r: one forward and one backward triangular solve.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+
+ private:
+  // Lower-triangular factor in CSR; each row's diagonal entry is last.
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+enum class CgPreconditioner {
+  Jacobi,              ///< diagonal scaling — always applicable to SPD systems
+  IncompleteCholesky,  ///< IC(0) — far fewer iterations on FDM stencil matrices
+};
+
 struct CgOptions {
   double tolerance = 1e-10;   ///< relative residual ||r||/||b||
   int max_iterations = 10000;
+  CgPreconditioner preconditioner = CgPreconditioner::Jacobi;
 };
 
 struct CgResult {
   std::vector<double> x;
-  double residual = 0.0;  ///< final relative residual
+  double residual = 0.0;  ///< relative residual of the returned x
   int iterations = 0;
   bool converged = false;
+  /// The iteration hit a direction with p^T A p <= 0 (matrix not positive
+  /// definite) and stopped early; `x` is the last accepted iterate and
+  /// `residual` is recomputed from it, not carried over from the recurrence.
+  bool breakdown = false;
 };
 
-/// Jacobi-preconditioned CG for SPD systems. `x0` (optional) warm-starts the
+/// Preconditioned CG for SPD systems. `x0` (optional) warm-starts the
 /// iteration — the co-simulation loop re-solves nearly identical systems.
+/// `ic` (optional) supplies a prebuilt IC(0) factor so callers solving many
+/// systems against one matrix pay the factorization once; when it is null and
+/// `opts.preconditioner` asks for IncompleteCholesky, a factor is built for
+/// this solve.
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
-                            const CgOptions& opts = {}, std::span<const double> x0 = {});
+                            const CgOptions& opts = {}, std::span<const double> x0 = {},
+                            const IncompleteCholesky* ic = nullptr);
 
 }  // namespace ptherm::numerics

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -9,6 +10,8 @@ namespace ptherm::thermal {
 
 FdmThermalSolver::FdmThermalSolver(Die die, FdmOptions opts) : die_(die), opts_(opts) {
   PTHERM_REQUIRE(opts_.nx >= 2 && opts_.ny >= 2 && opts_.nz >= 2, "FDM: grid too small");
+  PTHERM_REQUIRE(die_.width > 0.0 && die_.height > 0.0 && die_.thickness > 0.0,
+                 "FDM: degenerate die");
   dx_ = die_.width / opts_.nx;
   dy_ = die_.height / opts_.ny;
   dz_ = die_.thickness / opts_.nz;
@@ -59,17 +62,25 @@ void FdmThermalSolver::assemble() {
   numerics::SparseBuilder builder(n, n);
   stamp_conduction(builder);
   laplacian_ = numerics::CsrMatrix(builder);
+  if (opts_.cg.preconditioner == numerics::CgPreconditioner::IncompleteCholesky) {
+    laplacian_ic_.emplace(laplacian_);
+  }
 }
 
 std::vector<double> FdmThermalSolver::surface_power(
     const std::vector<HeatSource>& sources) const {
   std::vector<double> q(cell_count(), 0.0);
   for (const auto& s : sources) {
-    const double x0 = s.cx - 0.5 * s.w;
-    const double x1 = s.cx + 0.5 * s.w;
-    const double y0 = s.cy - 0.5 * s.l;
-    const double y1 = s.cy + 0.5 * s.l;
-    const double density = s.power / (s.w * s.l);
+    PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "surface_power: degenerate source (w, l must be > 0)");
+    // Clip the footprint to the die and renormalize the density to the
+    // clipped area: the source's full power is conserved on the die (see the
+    // class policy comment). A source entirely off the die deposits nothing.
+    const double x0 = std::max(s.cx - 0.5 * s.w, 0.0);
+    const double x1 = std::min(s.cx + 0.5 * s.w, die_.width);
+    const double y0 = std::max(s.cy - 0.5 * s.l, 0.0);
+    const double y1 = std::min(s.cy + 0.5 * s.l, die_.height);
+    if (x1 <= x0 || y1 <= y0) continue;
+    const double density = s.power / ((x1 - x0) * (y1 - y0));
     const int i0 = std::clamp(static_cast<int>(std::floor(x0 / dx_)), 0, opts_.nx - 1);
     const int i1 = std::clamp(static_cast<int>(std::floor((x1 - 1e-15) / dx_)), 0, opts_.nx - 1);
     const int j0 = std::clamp(static_cast<int>(std::floor(y0 / dy_)), 0, opts_.ny - 1);
@@ -101,11 +112,14 @@ FdmThermalSolver::Solution FdmThermalSolver::solve_steady(
     PTHERM_REQUIRE(warm_start->size() == cell_count(), "FDM warm start size mismatch");
     x0 = *warm_start;
   }
-  const auto cg = numerics::conjugate_gradient(laplacian_, rhs, opts_.cg, x0);
+  const auto cg = numerics::conjugate_gradient(laplacian_, rhs, opts_.cg, x0,
+                                               laplacian_ic_ ? &*laplacian_ic_ : nullptr);
   Solution sol;
   sol.rise = cg.x;
   sol.cg_iterations = cg.iterations;
   sol.converged = cg.converged;
+  sol.breakdown = cg.breakdown;
+  sol.residual = cg.residual;
   return sol;
 }
 
@@ -129,18 +143,38 @@ int FdmThermalSolver::step_transient(std::vector<double>& rise, double dt,
                                      const std::vector<HeatSource>& sources) const {
   PTHERM_REQUIRE(rise.size() == cell_count(), "step_transient: field size mismatch");
   PTHERM_REQUIRE(dt > 0.0, "step_transient: dt must be positive");
-  // (C/dt * I + A) T^{n+1} = C/dt * T^n + q. The shifted matrix is assembled
-  // per call (assembly is linear-time and dwarfed by CG; callers stepping
-  // thousands of times should cache externally if it ever matters).
+  // (C/dt * I + A) T^{n+1} = C/dt * T^n + q. The shifted operator depends
+  // only on dt; transient drivers step with a fixed dt thousands of times,
+  // so it is cached (with its IC factor) and reassembled only when dt moves.
   const std::size_t n = cell_count();
-  numerics::SparseBuilder builder(n, n);
   const double c_over_dt = cell_capacitance_ / dt;
-  for (std::size_t c = 0; c < n; ++c) builder.add(c, c, c_over_dt);
-  stamp_conduction(builder);
-  const numerics::CsrMatrix shifted(builder);
+  if (!transient_cache_.valid || transient_cache_.dt != dt) {
+    numerics::SparseBuilder builder(n, n);
+    for (std::size_t c = 0; c < n; ++c) builder.add(c, c, c_over_dt);
+    stamp_conduction(builder);
+    transient_cache_.matrix = numerics::CsrMatrix(builder);
+    transient_cache_.ic.reset();
+    if (opts_.cg.preconditioner == numerics::CgPreconditioner::IncompleteCholesky) {
+      transient_cache_.ic.emplace(transient_cache_.matrix);
+    }
+    transient_cache_.dt = dt;
+    transient_cache_.valid = true;
+  }
   std::vector<double> rhs = rhs_for(sources);
   for (std::size_t c = 0; c < n; ++c) rhs[c] += c_over_dt * rise[c];
-  const auto cg = numerics::conjugate_gradient(shifted, rhs, opts_.cg, rise);
+  const auto cg =
+      numerics::conjugate_gradient(transient_cache_.matrix, rhs, opts_.cg, rise,
+                                   transient_cache_.ic ? &*transient_cache_.ic : nullptr);
+  if (!cg.converged) {
+    // Same failure policy as the steady path: never hand a transient driver
+    // a garbage field to keep integrating.
+    std::ostringstream os;
+    os << "step_transient: CG "
+       << (cg.breakdown ? "breakdown (operator not positive definite)"
+                        : "hit the iteration limit")
+       << ", relative residual " << cg.residual << " after " << cg.iterations << " iterations";
+    throw ConvergenceError(os.str());
+  }
   rise = cg.x;
   return cg.iterations;
 }

@@ -10,6 +10,7 @@
 // isothermal bottom at the sink temperature.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "numerics/sparse.hpp"
@@ -24,12 +25,26 @@ struct FdmOptions {
   int ny = 32;
   int nz = 16;
   LateralBoundary lateral = LateralBoundary::Adiabatic;
-  numerics::CgOptions cg;
+  /// CG settings. The stencil matrices are M-matrices, for which IC(0) is
+  /// breakdown-free and severalfold cheaper than Jacobi, so it is the
+  /// default here (the generic numerics default stays Jacobi).
+  numerics::CgOptions cg = [] {
+    numerics::CgOptions o;
+    o.preconditioner = numerics::CgPreconditioner::IncompleteCholesky;
+    return o;
+  }();
   double cv = 1.631e6;  ///< volumetric heat capacity [J/(m^3 K)] (transient)
 };
 
 /// Steady or transient conduction on a fixed grid. The matrix is assembled
 /// once; sources only change the right-hand side.
+///
+/// Source-clipping policy (power conservation): every heat source is clipped
+/// to the die surface and its FULL power is deposited over the clipped
+/// footprint — a source straddling the die boundary does not silently lose
+/// its off-die wattage. A source entirely outside the die deposits nothing.
+/// The analytic ChipThermalModel applies the same policy. Sources must have
+/// positive extents (w > 0 and l > 0) or the solve throws.
 class FdmThermalSolver {
  public:
   FdmThermalSolver(Die die, FdmOptions opts);
@@ -40,6 +55,11 @@ class FdmThermalSolver {
     std::vector<double> rise;  ///< per-cell rise [K]
     int cg_iterations = 0;
     bool converged = false;
+    /// CG diagnostics for callers that must report *why* a solve failed:
+    /// `breakdown` flags a loss of positive-definiteness, `residual` is the
+    /// relative residual of the returned field.
+    bool breakdown = false;
+    double residual = 0.0;
   };
   [[nodiscard]] Solution solve_steady(const std::vector<HeatSource>& sources,
                                       const std::vector<double>* warm_start = nullptr) const;
@@ -53,7 +73,9 @@ class FdmThermalSolver {
   }
 
   /// One backward-Euler transient step: advances `rise` (full field) by dt
-  /// under the given sources. Returns CG iterations.
+  /// under the given sources. Returns CG iterations; throws
+  /// ptherm::ConvergenceError (leaving `rise` untouched) if the implicit
+  /// solve fails, so drivers never integrate a garbage field.
   int step_transient(std::vector<double>& rise, double dt,
                      const std::vector<HeatSource>& sources) const;
 
@@ -70,7 +92,8 @@ class FdmThermalSolver {
   [[nodiscard]] const Die& die() const noexcept { return die_; }
 
   /// Power deposited in each top-layer cell for the given sources (area
-  /// overlap weighting); exposed for tests.
+  /// overlap weighting over the die-clipped footprint, renormalized so the
+  /// full source power lands on the die); exposed for tests.
   [[nodiscard]] std::vector<double> surface_power(const std::vector<HeatSource>& sources) const;
 
  private:
@@ -82,7 +105,21 @@ class FdmThermalSolver {
   FdmOptions opts_;
   double dx_ = 0.0, dy_ = 0.0, dz_ = 0.0;
   numerics::CsrMatrix laplacian_;       // steady conduction matrix (SPD)
+  std::optional<numerics::IncompleteCholesky> laplacian_ic_;  // when opts ask for IC
   double cell_capacitance_ = 0.0;       // cv * cell volume [J/K]
+
+  // step_transient solves (C/dt I + A); the shifted operator depends only on
+  // dt, so it (and its IC factor) is cached keyed by dt instead of being
+  // reassembled every step. Mutable: rebuilding the cache does not change
+  // observable state, but it does make concurrent step_transient calls on
+  // one solver unsafe (use one solver per thread).
+  struct TransientOperator {
+    double dt = 0.0;
+    numerics::CsrMatrix matrix;
+    std::optional<numerics::IncompleteCholesky> ic;
+    bool valid = false;
+  };
+  mutable TransientOperator transient_cache_;
 };
 
 }  // namespace ptherm::thermal

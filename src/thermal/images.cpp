@@ -1,5 +1,6 @@
 #include "thermal/images.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -15,7 +16,41 @@ ChipThermalModel::ChipThermalModel(Die die, std::vector<HeatSource> sources, Ima
   for (const auto& s : sources_) {
     PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "ChipThermalModel: degenerate source");
   }
+  clip_sources();
   rebuild_images();
+}
+
+void ChipThermalModel::clip_sources() {
+  // Power-conservation policy (see class comment): the full power radiates
+  // from the die-clipped footprint; fully off-die sources are inert, marked
+  // by a zero-width clipped entry so indices stay aligned with sources_.
+  clipped_.resize(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const HeatSource& s = sources_[i];
+    const double x0 = std::max(s.cx - 0.5 * s.w, 0.0);
+    const double x1 = std::min(s.cx + 0.5 * s.w, die_.width);
+    const double y0 = std::max(s.cy - 0.5 * s.l, 0.0);
+    const double y1 = std::min(s.cy + 0.5 * s.l, die_.height);
+    HeatSource c = s;
+    if (x1 <= x0 || y1 <= y0) {
+      c.w = 0.0;
+      c.l = 0.0;
+    } else {
+      // Rewrite only axes that were actually clipped: recomputing an
+      // untouched extent as x1 - x0 can perturb it by an ulp, and the
+      // min-kernel's line-source orientation test (l > w) must not flip on
+      // rounding noise for fully in-die sources.
+      if (x0 > s.cx - 0.5 * s.w || x1 < s.cx + 0.5 * s.w) {
+        c.cx = 0.5 * (x0 + x1);
+        c.w = x1 - x0;
+      }
+      if (y0 > s.cy - 0.5 * s.l || y1 < s.cy + 0.5 * s.l) {
+        c.cy = 0.5 * (y0 + y1);
+        c.l = y1 - y0;
+      }
+    }
+    clipped_[i] = c;
+  }
 }
 
 void ChipThermalModel::rebuild_images() {
@@ -23,8 +58,9 @@ void ChipThermalModel::rebuild_images() {
   const int order = opts_.lateral_order;
   const double wd = die_.width;
   const double hd = die_.height;
-  for (std::size_t si = 0; si < sources_.size(); ++si) {
-    const HeatSource& s = sources_[si];
+  for (std::size_t si = 0; si < clipped_.size(); ++si) {
+    const HeatSource& s = clipped_[si];
+    if (s.w <= 0.0) continue;  // fully off-die: no field
     if (order == 0) {
       images_.push_back({s, si});
       continue;
@@ -122,6 +158,7 @@ std::vector<double> ChipThermalModel::surface_map(int nx, int ny) const {
 void ChipThermalModel::set_source_power(std::size_t i, double power) {
   PTHERM_REQUIRE(i < sources_.size(), "set_source_power: index out of range");
   sources_[i].power = power;
+  clipped_[i].power = power;
   for (auto& img : images_) {
     if (img.parent == i) img.source.power = power;
   }

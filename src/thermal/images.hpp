@@ -40,6 +40,12 @@ struct ImageOptions {
 /// Analytic chip thermal model: evaluate anywhere on the surface in O(#images)
 /// closed-form kernel calls — the "fast" estimator the paper contrasts with
 /// numerical solvers.
+///
+/// Source-clipping policy (power conservation, matching FdmThermalSolver):
+/// each source's footprint is clipped to the die surface and the FULL source
+/// power is radiated from the clipped rectangle; a source entirely outside
+/// the die contributes nothing. `sources()` still reports the caller's
+/// unclipped geometry — clipping is internal to the field evaluation.
 class ChipThermalModel {
  public:
   ChipThermalModel(Die die, std::vector<HeatSource> sources, ImageOptions opts = {});
@@ -70,13 +76,15 @@ class ChipThermalModel {
     HeatSource source;   ///< lateral mirror copy
     std::size_t parent;  ///< index of the originating source
   };
+  void clip_sources();
   void rebuild_images();
   /// Contribution of one lateral copy at surface point (x, y): the Eq. (20)
   /// rectangle kernel plus (when enabled) the alternating z-image series.
   [[nodiscard]] double image_rise(const Image& img, double x, double y) const;
 
   Die die_;
-  std::vector<HeatSource> sources_;
+  std::vector<HeatSource> sources_;   ///< as given by the caller
+  std::vector<HeatSource> clipped_;   ///< die-clipped footprints; w == 0 marks fully off-die
   ImageOptions opts_;
   std::vector<Image> images_;
 };

@@ -77,7 +77,7 @@ TEST(Cosim, FixedPointSatisfiesThermalEquation) {
   for (std::size_t i = 0; i < r.blocks.size(); ++i) {
     double rise = 0.0;
     for (std::size_t j = 0; j < r.blocks.size(); ++j) {
-      rise += influence[i][j] * r.blocks[j].p_total();
+      rise += influence.at(i, j) * r.blocks[j].p_total();
     }
     EXPECT_NEAR(r.blocks[i].temperature - die_1mm().t_sink, rise, 0.02);
   }
@@ -88,9 +88,9 @@ TEST(Cosim, InfluenceMatrixIsPositiveWithDominantDiagonal) {
   const auto& m = solver.influence_matrix();
   for (std::size_t i = 0; i < m.size(); ++i) {
     for (std::size_t j = 0; j < m.size(); ++j) {
-      EXPECT_GT(m[i][j], 0.0);
+      EXPECT_GT(m.at(i, j), 0.0);
       if (i != j) {
-        EXPECT_GT(m[i][i], m[i][j]);  // self-heating dominates
+        EXPECT_GT(m.at(i, i), m.at(i, j));  // self-heating dominates
       }
     }
   }

@@ -144,6 +144,79 @@ TEST(Cg, WarmStartReducesIterations) {
   EXPECT_LE(warm.iterations, 1);
 }
 
+TEST(Cg, BreakdownIsSignalledWithHonestResidual) {
+  // Indefinite matrix with a positive diagonal: [[1, 2], [2, 1]] has
+  // eigenvalues 3 and -1, and b = (1, -1) is an eigenvector of the negative
+  // eigenvalue, so the very first search direction hits p^T A p < 0.
+  SparseBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 0, 2.0);
+  builder.add(1, 1, 1.0);
+  const CsrMatrix a(builder);
+  const std::vector<double> b = {1.0, -1.0};
+  const auto r = conjugate_gradient(a, b);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_EQ(r.iterations, 0);
+  // x is still the initial iterate (zero), and the reported residual must
+  // describe that returned x — not a stale recurrence value.
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_NEAR(r.residual, 1.0, 1e-12);
+}
+
+TEST(Cg, SpdSolveReportsNoBreakdown) {
+  const auto a = poisson1d(30);
+  const std::vector<double> b(30, 1.0);
+  const auto r = conjugate_gradient(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.breakdown);
+}
+
+TEST(Cg, IncompleteCholeskyCutsIterationsAndAgreesWithJacobi) {
+  // On a tridiagonal matrix IC(0) carries the full lower-triangle pattern,
+  // so it is the exact Cholesky factor: PCG must converge almost at once.
+  const std::size_t n = 200;
+  const auto a = poisson1d(n);
+  const std::vector<double> b(n, 1.0);
+  const auto jacobi = conjugate_gradient(a, b);
+  CgOptions opts;
+  opts.preconditioner = CgPreconditioner::IncompleteCholesky;
+  const auto ic = conjugate_gradient(a, b, opts);
+  ASSERT_TRUE(jacobi.converged);
+  ASSERT_TRUE(ic.converged);
+  EXPECT_LE(ic.iterations, 3);
+  EXPECT_LT(ic.iterations, jacobi.iterations);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ic.x[i], jacobi.x[i], 1e-7);
+}
+
+TEST(Cg, PrebuiltIncompleteCholeskyFactorIsReused) {
+  const std::size_t n = 100;
+  const auto a = poisson1d(n);
+  const std::vector<double> b(n, 1.0);
+  const IncompleteCholesky factor(a);
+  EXPECT_EQ(factor.dimension(), n);
+  // Jacobi-default options, explicit prebuilt factor: the factor wins.
+  const auto r = conjugate_gradient(a, b, {}, {}, &factor);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(IncompleteCholesky, RejectsMatricesWithoutPositivePivots) {
+  // [[1, 2], [2, 1]]: the (1,1) pivot becomes 1 - 2^2 < 0.
+  SparseBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 0, 2.0);
+  builder.add(1, 1, 1.0);
+  EXPECT_THROW(IncompleteCholesky{CsrMatrix(builder)}, PreconditionError);
+  // A row with no diagonal entry at all is rejected up front.
+  SparseBuilder no_diag(2, 2);
+  no_diag.add(0, 0, 1.0);
+  no_diag.add(1, 0, 1.0);
+  EXPECT_THROW(IncompleteCholesky{CsrMatrix(no_diag)}, PreconditionError);
+}
+
 TEST(Cg, RejectsNonPositiveDiagonal) {
   SparseBuilder b(2, 2);
   b.add(0, 0, 1.0);

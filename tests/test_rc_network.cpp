@@ -52,7 +52,7 @@ TEST(RcNetwork, ConductanceMatrixInvertsInfluence) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double sum = 0.0;
-      for (std::size_t k = 0; k < n; ++k) sum += r[i][k] * g[k][j];
+      for (std::size_t k = 0; k < n; ++k) sum += r.at(i, k) * g[k][j];
       EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-9);
     }
   }

@@ -65,6 +65,76 @@ TEST(Fdm, SurfacePowerConservesTotal) {
   }
 }
 
+TEST(Fdm, SurfacePowerConservesClippedSourcePower) {
+  // The clipping policy: interior sources deposit their power, straddling
+  // sources deposit their FULL power over the in-die part of the footprint,
+  // fully off-die sources deposit nothing. sum(rhs) must equal the clipped
+  // source power budget to 1e-12.
+  FdmThermalSolver solver(die_1mm(), {});
+  const std::vector<HeatSource> sources = {
+      {0.3e-3, 0.4e-3, 0.17e-3, 0.23e-3, 0.7},    // interior
+      {0.02e-3, 0.5e-3, 0.2e-3, 0.15e-3, 0.4},    // straddles the x = 0 edge
+      {0.98e-3, 0.99e-3, 0.1e-3, 0.1e-3, 0.25},   // straddles the far corner
+      {1.5e-3, 0.5e-3, 0.2e-3, 0.2e-3, 5.0}};     // fully off the die
+  const auto q = solver.surface_power(sources);
+  const double total = std::accumulate(q.begin(), q.end(), 0.0);
+  const double expected = 0.7 + 0.4 + 0.25;  // off-die source contributes 0
+  EXPECT_NEAR(total, expected, 1e-12 * expected);
+}
+
+TEST(Fdm, StraddlingSourceDepositsFullPowerOnDie) {
+  FdmThermalSolver solver(die_1mm(), {});
+  // Half the footprint hangs off the left edge; the seed build lost that
+  // half's wattage silently.
+  const std::vector<HeatSource> sources = {{0.0, 0.5e-3, 0.2e-3, 0.2e-3, 1.0}};
+  const auto q = solver.surface_power(sources);
+  const double total = std::accumulate(q.begin(), q.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Fdm, FullyOffDieSourceDepositsNothing) {
+  FdmThermalSolver solver(die_1mm(), {});
+  const std::vector<HeatSource> sources = {{-0.5e-3, 0.5e-3, 0.2e-3, 0.2e-3, 3.0}};
+  const auto q = solver.surface_power(sources);
+  for (double v : q) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Fdm, DegenerateSourceIsRejectedAtEveryEntryPoint) {
+  FdmThermalSolver solver(die_1mm(), {});
+  const std::vector<HeatSource> zero_w = {{0.5e-3, 0.5e-3, 0.0, 0.1e-3, 1.0}};
+  const std::vector<HeatSource> neg_l = {{0.5e-3, 0.5e-3, 0.1e-3, -0.1e-3, 1.0}};
+  EXPECT_THROW((void)solver.surface_power(zero_w), PreconditionError);
+  EXPECT_THROW((void)solver.surface_power(neg_l), PreconditionError);
+  EXPECT_THROW((void)solver.solve_steady(zero_w), PreconditionError);
+  std::vector<double> field(solver.cell_count(), 0.0);
+  EXPECT_THROW((void)solver.step_transient(field, 1e-3, neg_l), PreconditionError);
+}
+
+TEST(Fdm, TransientOperatorCacheSurvivesChangingDt) {
+  // step_transient caches the shifted operator keyed by dt; alternating time
+  // steps must still match a cache-cold solver stepping the same sequence.
+  const auto die = die_1mm();
+  FdmOptions opts;
+  opts.nx = 8;
+  opts.ny = 8;
+  opts.nz = 6;
+  const std::vector<HeatSource> sources = {{0.5e-3, 0.5e-3, 0.3e-3, 0.3e-3, 1.0}};
+  const double dts[] = {0.4e-3, 0.1e-3, 0.4e-3, 0.1e-3, 0.4e-3};
+
+  FdmThermalSolver cached(die, opts);
+  std::vector<double> rise_cached(cached.cell_count(), 0.0);
+  std::vector<double> rise_cold(cached.cell_count(), 0.0);
+  for (const double dt : dts) {
+    cached.step_transient(rise_cached, dt, sources);
+    // A fresh solver per step can never reuse a stale operator.
+    FdmThermalSolver cold(die, opts);
+    cold.step_transient(rise_cold, dt, sources);
+    for (std::size_t c = 0; c < rise_cached.size(); ++c) {
+      ASSERT_NEAR(rise_cached[c], rise_cold[c], 1e-12);
+    }
+  }
+}
+
 TEST(Fdm, PartialCellOverlapIsWeighted) {
   FdmOptions opts;
   opts.nx = 10;
@@ -186,6 +256,22 @@ TEST(Fdm, IsothermalSidesRunCoolerThanAdiabatic) {
   const auto ra = sa.solve_steady(sources);
   const auto ri = si.solve_steady(sources);
   EXPECT_GT(sa.surface_rise(ra, 0.15e-3, 0.5e-3), si.surface_rise(ri, 0.15e-3, 0.5e-3));
+}
+
+TEST(Fdm, TransientThrowsInsteadOfIntegratingAnUnconvergedField) {
+  FdmOptions opts;
+  opts.nx = 8;
+  opts.ny = 8;
+  opts.nz = 6;
+  opts.cg.max_iterations = 1;  // no solve can finish in one iteration...
+  FdmThermalSolver solver(die_1mm(), opts);
+  const std::vector<HeatSource> sources = {{0.5e-3, 0.5e-3, 0.3e-3, 0.3e-3, 1.0}};
+  std::vector<double> rise(solver.cell_count(), 0.0);
+  // ...provided the operator is not near-diagonal: a huge dt makes the
+  // shifted system essentially the steady Laplacian.
+  EXPECT_THROW((void)solver.step_transient(rise, 10.0, sources), ConvergenceError);
+  // The field must be untouched by the failed step.
+  for (double v : rise) EXPECT_EQ(v, 0.0);
 }
 
 TEST(Fdm, RejectsBadInput) {

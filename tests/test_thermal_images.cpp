@@ -42,6 +42,36 @@ TEST(ChipModel, SuperpositionIsLinear) {
   EXPECT_NEAR(both.rise(x, y), only_a.rise(x, y) + only_b.rise(x, y), 1e-12);
 }
 
+TEST(ChipModel, StraddlingSourceMatchesPreClippedSource) {
+  // The power-conservation clipping policy: a source straddling the die edge
+  // behaves exactly like its in-die clipped footprint carrying the full
+  // power. Matches FdmThermalSolver::surface_power's policy.
+  const auto die = die_1mm();
+  // Centre on the left edge: half the 0.2 mm footprint hangs off the die.
+  HeatSource straddling{0.0, 0.5e-3, 0.2e-3, 0.2e-3, 0.5};
+  HeatSource clipped{0.05e-3, 0.5e-3, 0.1e-3, 0.2e-3, 0.5};
+  ChipThermalModel a(die, {straddling});
+  ChipThermalModel b(die, {clipped});
+  for (const auto& p : {std::pair{0.05e-3, 0.5e-3}, std::pair{0.3e-3, 0.5e-3},
+                        std::pair{0.8e-3, 0.2e-3}}) {
+    EXPECT_DOUBLE_EQ(a.rise(p.first, p.second), b.rise(p.first, p.second));
+  }
+}
+
+TEST(ChipModel, FullyOffDieSourceContributesNothing) {
+  const auto die = die_1mm();
+  HeatSource off_die{1.5e-3, 0.5e-3, 0.2e-3, 0.2e-3, 4.0};
+  ChipThermalModel alone(die, {off_die});
+  EXPECT_EQ(alone.rise(0.5e-3, 0.5e-3), 0.0);
+  EXPECT_EQ(alone.image_count(), 0u);
+  // And in superposition it adds exactly nothing.
+  ChipThermalModel with(die, {center_block(), off_die});
+  ChipThermalModel without(die, {center_block()});
+  EXPECT_DOUBLE_EQ(with.rise(0.4e-3, 0.6e-3), without.rise(0.4e-3, 0.6e-3));
+  // The caller's geometry is still reported unclipped.
+  EXPECT_DOUBLE_EQ(with.sources()[1].cx, 1.5e-3);
+}
+
 TEST(ChipModel, LateralImagesImposeZeroNormalGradient) {
   // Fig. 7's statement: dT/dx = 0 at both die edges. Probe with a central
   // difference straddling the wall.
