@@ -1,6 +1,9 @@
 // Speed study S1 (co-simulation): the headline workflow — a concurrent
 // power-thermal solve of a full floorplan — with the analytic backend (the
-// paper's proposal) versus the FDM backend (the "numerical approach").
+// paper's proposal) versus the FDM backend (the "numerical approach") versus
+// the spectral Green's-function backend (one mode-space multiply per
+// influence column). The three BM_InfluenceBuild* benches at 36 blocks are
+// the PR-3 trajectory point: the same operator, one bar per backend.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
@@ -75,6 +78,25 @@ void BM_CosimFdm(benchmark::State& state) {
 }
 BENCHMARK(BM_CosimFdm)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+void BM_CosimSpectral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  core::CosimOptions opts;
+  opts.backend = core::ThermalBackend::Spectral;
+  core::CosimResult last;
+  core::InfluenceBuildStats stats;
+  for (auto _ : state) {
+    core::ElectroThermalSolver solver(device::Technology::cmos012(), fp, opts);
+    last = solver.solve();
+    stats = solver.influence_build_stats();
+    benchmark::DoNotOptimize(last);
+  }
+  record_solve(state, last);
+  state.counters["modes"] = static_cast<double>(stats.modes);
+  state.counters["fft_calls"] = static_cast<double>(stats.fft_calls);
+}
+BENCHMARK(BM_CosimSpectral)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
 // The influence-build trajectory point at >= 32 blocks: the batched
 // warm-started IC(0) build (the PR-2 hot path) versus the seed semantics —
 // per-column cold starts with the Jacobi-preconditioned CG the seed shipped.
@@ -116,6 +138,37 @@ void BM_InfluenceBuildFdmSeedPath(benchmark::State& state) {
   state.counters["blocks"] = static_cast<double>(sources.size());
 }
 BENCHMARK(BM_InfluenceBuildFdmSeedPath)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_InfluenceBuildAnalytic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  const auto tech = device::Technology::cmos012();
+  const auto sources = fp.heat_sources(tech);
+  const auto samples = core::block_centre_samples(fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_influence_analytic(fp.die(), sources, samples));
+  }
+  state.counters["blocks"] = static_cast<double>(sources.size());
+}
+BENCHMARK(BM_InfluenceBuildAnalytic)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_InfluenceBuildSpectral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  const auto tech = device::Technology::cmos012();
+  const thermal::SpectralThermalSolver solver(fp.die(), {});
+  const auto sources = fp.heat_sources(tech);
+  const auto samples = core::block_centre_samples(fp);
+  core::InfluenceBuildStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_influence_spectral(solver, sources, samples, &stats));
+  }
+  state.counters["blocks"] = static_cast<double>(sources.size());
+  state.counters["modes"] = static_cast<double>(stats.modes);
+}
+BENCHMARK(BM_InfluenceBuildSpectral)->Arg(6)->Unit(benchmark::kMillisecond);
 
 void BM_CosimIterationOnly(benchmark::State& state) {
   // The fixed point after the influence matrix exists: this is the marginal

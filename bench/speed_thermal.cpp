@@ -1,11 +1,12 @@
 // Speed study S1 (thermal): closed-form image-method evaluation versus the
-// FDM reference, plus the cost anatomy of the analytic model (kernel,
-// z-series, full map).
+// FDM reference versus the spectral Green's-function solver, plus the cost
+// anatomy of the analytic model (kernel, z-series, full map).
 #include <benchmark/benchmark.h>
 
 #include "floorplan/generators.hpp"
 #include "thermal/fdm.hpp"
 #include "thermal/images.hpp"
+#include "thermal/spectral.hpp"
 
 namespace {
 
@@ -105,5 +106,37 @@ void BM_FdmWarmStartedResolve(benchmark::State& state) {
   state.counters["cg_iterations"] = static_cast<double>(sol.cg_iterations);
 }
 BENCHMARK(BM_FdmWarmStartedResolve)->Unit(benchmark::kMillisecond);
+
+void BM_SpectralSteadySolve(benchmark::State& state) {
+  // A spectral "solve" is the analytic mode projection plus the per-mode
+  // transfer — no linear system. Contrast with BM_FdmSteadySolve.
+  const thermal::SpectralThermalSolver solver(die_1mm(), {});
+  const auto sources = three_sources();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_steady(sources));
+  }
+  state.counters["modes"] = static_cast<double>(solver.mode_count());
+}
+BENCHMARK(BM_SpectralSteadySolve)->Unit(benchmark::kMillisecond);
+
+void BM_SpectralSurfaceMap(benchmark::State& state) {
+  // DCT-synthesized full-surface map: O(M log M) versus the image model's
+  // O(points x images) sweep in BM_ChipModelSurfaceMap.
+  const thermal::SpectralThermalSolver solver(die_1mm(), {});
+  const auto sol = solver.solve_steady(three_sources());
+  const int n = static_cast<int>(state.range(0));
+  const long long fft_before = solver.fft_calls();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.surface_map(sol, n, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+  // Per-map FFT count (the counter itself is cumulative; the raw value would
+  // scale with however many iterations this machine happened to run).
+  state.counters["fft_calls"] =
+      static_cast<double>(solver.fft_calls() - fft_before) /
+      static_cast<double>(state.iterations());
+  state.counters["modes"] = static_cast<double>(solver.mode_count());
+}
+BENCHMARK(BM_SpectralSurfaceMap)->Arg(32)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 }  // namespace

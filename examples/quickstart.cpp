@@ -1,15 +1,37 @@
 // Quickstart: the three things ptherm does, in thirty lines each.
 //  1. Static (leakage) power of a CMOS gate per input vector (paper §2).
 //  2. The thermal profile of a block on a die (paper §3).
-//  3. The concurrent solve coupling the two (the paper's headline).
+//  3. The concurrent solve coupling the two (the paper's headline), on a
+//     selectable thermal backend.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./examples/quickstart [analytic|fdm|spectral]
 #include <iostream>
+#include <string>
 
 #include "core/api.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptherm;
+
+  // Optional backend selector for part 3 (CI runs the example once per
+  // backend so a dispatch regression fails the pipeline, not just a bench).
+  core::CosimOptions cosim_opts;
+  if (argc > 1) {
+    const std::string choice = argv[1];
+    if (choice == "analytic") {
+      cosim_opts.backend = core::ThermalBackend::Analytic;
+    } else if (choice == "fdm") {
+      cosim_opts.backend = core::ThermalBackend::Fdm;
+      cosim_opts.fdm.nx = 24;
+      cosim_opts.fdm.ny = 24;
+      cosim_opts.fdm.nz = 12;
+    } else if (choice == "spectral") {
+      cosim_opts.backend = core::ThermalBackend::Spectral;
+    } else {
+      std::cerr << "unknown backend '" << choice << "' (want analytic, fdm, or spectral)\n";
+      return 2;
+    }
+  }
 
   // ---------------------------------------------------------------- 1 ----
   // Leakage of a NAND2 gate in a 0.12 um process, per input vector, at 85 C.
@@ -52,10 +74,11 @@ int main() {
   cfg.gates_per_mm2 = 1e5;
   const auto fp = floorplan::make_uniform_grid(tech, die, 3, 3, cfg, rng);
 
-  core::ElectroThermalSolver solver(tech, fp, {});
+  core::ElectroThermalSolver solver(tech, fp, cosim_opts);
   const auto result = solver.solve();
-  std::cout << "Concurrent solve: " << (result.converged ? "converged" : "DID NOT CONVERGE")
-            << " in " << result.iterations << " iterations\n";
+  std::cout << "Concurrent solve (" << solver.backend().name() << " backend): "
+            << (result.converged ? "converged" : "DID NOT CONVERGE") << " in "
+            << result.iterations << " iterations\n";
   std::cout << "  hottest block: " << to_celsius(result.max_temperature) << " C\n";
   std::cout << "  dynamic power: " << result.total_dynamic << " W, leakage power: "
             << result.total_leakage << " W\n";

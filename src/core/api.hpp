@@ -41,7 +41,9 @@
 #include "spice/export.hpp"
 #include "spice/transient.hpp"
 #include "thermal/analytic.hpp"
+#include "thermal/backend.hpp"
 #include "thermal/fdm.hpp"
 #include "thermal/images.hpp"
 #include "thermal/map_io.hpp"
 #include "thermal/rc.hpp"
+#include "thermal/spectral.hpp"

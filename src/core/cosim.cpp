@@ -8,30 +8,46 @@
 
 namespace ptherm::core {
 
+std::unique_ptr<thermal::SolverBackend> make_thermal_backend(const thermal::Die& die,
+                                                             const CosimOptions& opts) {
+  switch (opts.backend) {
+    case ThermalBackend::Analytic:
+      return std::make_unique<thermal::AnalyticImagesBackend>(die, opts.images);
+    case ThermalBackend::Fdm:
+      return std::make_unique<thermal::FdmBackend>(die, opts.fdm);
+    case ThermalBackend::Spectral:
+      return std::make_unique<thermal::SpectralBackend>(die, opts.spectral);
+  }
+  throw PreconditionError("make_thermal_backend: unknown backend");
+}
+
+void validate(const CosimOptions& opts) {
+  PTHERM_REQUIRE(opts.damping > 0.0 && opts.damping <= 1.0,
+                 "CosimOptions: damping must be in (0, 1]");
+  PTHERM_REQUIRE(opts.tol > 0.0, "CosimOptions: tol must be > 0");
+  PTHERM_REQUIRE(opts.max_iterations > 0, "CosimOptions: max_iterations must be > 0");
+  PTHERM_REQUIRE(opts.runaway_rise_limit > 0.0,
+                 "CosimOptions: runaway_rise_limit must be > 0");
+  PTHERM_REQUIRE(opts.r_package >= 0.0, "CosimOptions: r_package must be >= 0");
+}
+
 ElectroThermalSolver::ElectroThermalSolver(device::Technology tech, floorplan::Floorplan fp,
                                            CosimOptions opts)
     : tech_(std::move(tech)), fp_(std::move(fp)), opts_(opts) {
   PTHERM_REQUIRE(!fp_.blocks().empty(), "ElectroThermalSolver: empty floorplan");
-  PTHERM_REQUIRE(opts_.damping > 0.0 && opts_.damping <= 1.0,
-                 "ElectroThermalSolver: damping must be in (0, 1]");
+  validate(opts_);
+  backend_ = make_thermal_backend(fp_.die(), opts_);
   build_influence();
 }
 
 void ElectroThermalSolver::build_influence() {
-  // Both backends are linear in the injected power, so the influence
-  // operator captures them exactly: R[i][j] = rise at block i per watt in
-  // block j. Construction is batched per column — see core/influence.hpp.
+  // Every backend is linear in the injected power, so the influence operator
+  // captures it exactly: R[i][j] = rise at block i per watt in block j.
+  // Construction is batched per column by the backend (thermal/backend.hpp).
   const auto samples = block_centre_samples(fp_);
-  std::vector<thermal::HeatSource> sources = fp_.heat_sources(tech_);
-
-  if (opts_.backend == ThermalBackend::Analytic) {
-    influence_ = build_influence_analytic(fp_.die(), std::move(sources), samples, opts_.images);
-    influence_stats_ = {static_cast<int>(samples.size()), 0};
-  } else if (opts_.backend == ThermalBackend::Fdm) {
-    const thermal::FdmThermalSolver solver(fp_.die(), opts_.fdm);
-    influence_ =
-        build_influence_fdm(solver, std::move(sources), samples, true, &influence_stats_);
-  }
+  const std::vector<thermal::HeatSource> sources = fp_.heat_sources(tech_);
+  influence_ = InfluenceOperator(backend_->build_influence(sources, samples));
+  influence_stats_ = influence_stats_from(backend_->cost_stats());
   // Package resistance couples every pair uniformly: each watt anywhere
   // raises the whole die by r_package.
   if (opts_.r_package > 0.0) influence_.add_uniform(opts_.r_package);

@@ -3,29 +3,34 @@
 // the two models must be solved simultaneously. This engine runs a damped
 // Picard fixed point over block temperatures,
 //     T_i  <-  T_sink + sum_j Rth_ij * P_j(T_j),
-// where the thermal influence comes from either the analytic image model
-// (fast path, closed form only — the paper's point) or the FDM reference
-// (validation path), and P_j(T) = P_dyn_j + VDD * I_off_j(T) from the
-// compact leakage model. Divergence (leakage-thermal runaway) is detected
-// and reported rather than hidden.
+// where the thermal influence comes from a pluggable thermal::SolverBackend:
+// the analytic image model (fast path, closed form only — the paper's
+// point), the FDM reference (validation path), or the spectral
+// Green's-function solver (fastest influence build; one mode-space multiply
+// per column), and P_j(T) = P_dyn_j + VDD * I_off_j(T) from the compact
+// leakage model. Divergence (leakage-thermal runaway) is detected and
+// reported rather than hidden.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/influence.hpp"
 #include "floorplan/floorplan.hpp"
-#include "thermal/fdm.hpp"
-#include "thermal/images.hpp"
+#include "thermal/backend.hpp"
 
 namespace ptherm::core {
 
-enum class ThermalBackend { Analytic, Fdm };
+/// User-facing backend selector; `make_thermal_backend` maps it (plus the
+/// per-backend option structs in CosimOptions) onto a thermal::SolverBackend.
+enum class ThermalBackend { Analytic, Fdm, Spectral };
 
 struct CosimOptions {
   ThermalBackend backend = ThermalBackend::Analytic;
   thermal::ImageOptions images;        ///< analytic backend settings
   thermal::FdmOptions fdm;             ///< FDM backend settings
+  thermal::SpectralOptions spectral;   ///< spectral backend settings
   double damping = 0.7;                ///< Picard relaxation factor (0, 1]
   double tol = 1e-3;                   ///< convergence: max |dT| [K]
   int max_iterations = 200;
@@ -36,6 +41,18 @@ struct CosimOptions {
   /// resolves (the sink plane is then the package case, not the ambient).
   double r_package = 0.0;
 };
+
+/// Builds the thermal backend `opts` selects, configured for `die`. The one
+/// place that maps the user-facing enum onto concrete solver types — every
+/// consumer (steady cosim, transient cosim, examples) goes through here, so
+/// a new backend is one enum value plus one case.
+[[nodiscard]] std::unique_ptr<thermal::SolverBackend> make_thermal_backend(
+    const thermal::Die& die, const CosimOptions& opts);
+
+/// Throws ptherm::PreconditionError if the Picard-iteration settings are
+/// unusable (damping outside (0, 1], tol <= 0, max_iterations <= 0,
+/// runaway_rise_limit <= 0, or r_package < 0).
+void validate(const CosimOptions& opts);
 
 struct BlockState {
   double temperature = 0.0;  ///< [K]
@@ -77,11 +94,15 @@ class ElectroThermalSolver {
   /// R * dP/dT < 1) is an ablation bench.
   [[nodiscard]] const InfluenceOperator& influence_matrix() const noexcept { return influence_; }
 
-  /// Cost counters from the influence build (FDM CG iterations etc.), for
-  /// the perf-trajectory benches.
+  /// Cost counters from the influence build (FDM CG iterations, spectral
+  /// modes/FFTs), for the perf-trajectory benches.
   [[nodiscard]] const InfluenceBuildStats& influence_build_stats() const noexcept {
     return influence_stats_;
   }
+
+  /// The thermal backend this solver built R from — reusable for field maps
+  /// of the converged power state (see examples/hotspot_analysis.cpp).
+  [[nodiscard]] const thermal::SolverBackend& backend() const noexcept { return *backend_; }
 
  private:
   void build_influence();
@@ -89,6 +110,7 @@ class ElectroThermalSolver {
   device::Technology tech_;
   floorplan::Floorplan fp_;
   CosimOptions opts_;
+  std::unique_ptr<thermal::SolverBackend> backend_;
   InfluenceOperator influence_;
   InfluenceBuildStats influence_stats_;
 };

@@ -1,13 +1,14 @@
 #include "core/influence.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 
 namespace ptherm::core {
+
+InfluenceBuildStats influence_stats_from(const thermal::BackendCostStats& cost) {
+  return {cost.influence_columns, cost.cg_iterations, cost.modes, cost.fft_calls};
+}
 
 InfluenceOperator::InfluenceOperator(numerics::Matrix r) : r_(std::move(r)) {
   PTHERM_REQUIRE(r_.rows() == r_.cols(), "InfluenceOperator: matrix must be square");
@@ -44,81 +45,26 @@ InfluenceOperator build_influence_analytic(const thermal::Die& die,
                                            std::vector<thermal::HeatSource> sources,
                                            std::span<const InfluenceSample> samples,
                                            const thermal::ImageOptions& opts) {
-  const std::size_t n = sources.size();
-  PTHERM_REQUIRE(n > 0, "build_influence_analytic: no sources");
-  PTHERM_REQUIRE(samples.size() == n, "build_influence_analytic: need one sample per source");
-  numerics::Matrix r(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    std::vector<thermal::HeatSource> one = {sources[j]};
-    one[0].power = 1.0;
-    const thermal::ChipThermalModel model(die, std::move(one), opts);
-    for (std::size_t i = 0; i < n; ++i) r(i, j) = model.rise(samples[i].x, samples[i].y);
-  }
-  return InfluenceOperator(std::move(r));
+  return InfluenceOperator(thermal::analytic_influence_columns(die, sources, samples, opts));
 }
 
 InfluenceOperator build_influence_fdm(const thermal::FdmThermalSolver& solver,
                                       std::vector<thermal::HeatSource> sources,
                                       std::span<const InfluenceSample> samples, bool warm_start,
                                       InfluenceBuildStats* stats) {
-  const std::size_t n = sources.size();
-  PTHERM_REQUIRE(n > 0, "build_influence_fdm: no sources");
-  PTHERM_REQUIRE(samples.size() == n, "build_influence_fdm: need one sample per source");
-  numerics::Matrix r(n, n);
-  InfluenceBuildStats local;
-  std::vector<double> prev;  // previous column's converged field
-  std::vector<double> x0;    // translated warm-start scratch
-  double prev_cx = 0.0;
-  double prev_cy = 0.0;
-  const int nx = solver.nx();
-  const int ny = solver.ny();
-  const int nz = solver.nz();
-  const double dx = solver.die().width / nx;
-  const double dy = solver.die().height / ny;
-  for (std::size_t j = 0; j < n; ++j) {
-    std::vector<thermal::HeatSource> one = {sources[j]};
-    one[0].power = 1.0;
-    const std::vector<double>* start = nullptr;
-    if (warm_start && !prev.empty()) {
-      // Adjacent blocks have near-identical fields up to a lateral shift, so
-      // the previous column's field translated (edge-replicated) onto this
-      // column's source position is a far better first iterate than the
-      // unshifted field — unit-source right-hand sides are nearly disjoint,
-      // which makes the plain previous iterate no better than zero.
-      const int di = static_cast<int>(std::lround((sources[j].cx - prev_cx) / dx));
-      const int dj = static_cast<int>(std::lround((sources[j].cy - prev_cy) / dy));
-      x0.resize(prev.size());
-      for (int k = 0; k < nz; ++k) {
-        for (int jj = 0; jj < ny; ++jj) {
-          const int sj = std::clamp(jj - dj, 0, ny - 1);
-          for (int ii = 0; ii < nx; ++ii) {
-            const int si = std::clamp(ii - di, 0, nx - 1);
-            x0[solver.cell_index(ii, jj, k)] = prev[solver.cell_index(si, sj, k)];
-          }
-        }
-      }
-      start = &x0;
-    }
-    auto sol = solver.solve_steady(one, start);
-    if (!sol.converged) {
-      std::ostringstream os;
-      os << "influence: FDM solve for column " << j << " failed: "
-         << (sol.breakdown ? "CG breakdown (operator not positive definite)"
-                           : "CG hit the iteration limit")
-         << ", relative residual " << sol.residual << " after " << sol.cg_iterations
-         << " iterations";
-      PTHERM_REQUIRE(sol.converged, os.str());
-    }
-    local.cg_iterations += sol.cg_iterations;
-    ++local.columns;
-    for (std::size_t i = 0; i < n; ++i) {
-      r(i, j) = solver.surface_rise(sol, samples[i].x, samples[i].y);
-    }
-    prev = std::move(sol.rise);
-    prev_cx = sources[j].cx;
-    prev_cy = sources[j].cy;
-  }
-  if (stats != nullptr) *stats = local;
+  thermal::BackendCostStats cost;
+  auto r = thermal::fdm_influence_columns(solver, sources, samples, warm_start, &cost);
+  if (stats != nullptr) *stats = influence_stats_from(cost);
+  return InfluenceOperator(std::move(r));
+}
+
+InfluenceOperator build_influence_spectral(const thermal::SpectralThermalSolver& solver,
+                                           std::vector<thermal::HeatSource> sources,
+                                           std::span<const InfluenceSample> samples,
+                                           InfluenceBuildStats* stats) {
+  thermal::BackendCostStats cost;
+  auto r = thermal::spectral_influence_columns(solver, sources, samples, &cost);
+  if (stats != nullptr) *stats = influence_stats_from(cost);
   return InfluenceOperator(std::move(r));
 }
 

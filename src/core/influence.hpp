@@ -1,20 +1,20 @@
 // Thermal influence operator: the dense block-to-block coupling R[i][j] =
 // rise at sample point i per watt injected in block j [K/W] that the
-// concurrent electro-thermal fixed point iterates on. Both thermal backends
-// are linear in injected power, so the operator captures them exactly; it is
+// concurrent electro-thermal fixed point iterates on. Every thermal backend
+// is linear in injected power, so the operator captures them exactly; it is
 // precomputed once and the Picard loop then costs one dense matvec per
 // iteration (flat row-major storage, no pointer chasing).
 //
-// Construction is batched per column:
+// Construction is batched per column by the backend layer
+// (thermal/backend.hpp):
 //  * Analytic: a single-source image model per column evaluates only that
-//    column's mirror images — the per-sample sweep over every other source's
-//    zero-power images the naive build pays is pure waste (superposition:
-//    zero-power sources contribute exactly nothing).
-//  * FDM: one FdmThermalSolver is reused for every column (one stencil
-//    assembly + one IC(0) factorization), and each unit-source CG solve is
-//    warm-started from the previous column's field translated onto the new
-//    source position — adjacent blocks have near-identical fields up to
-//    that lateral shift.
+//    column's mirror images.
+//  * FDM: one solver (one stencil assembly + one IC(0) factorization) for
+//    every column, each unit-source CG warm-started from the previous
+//    column's field translated onto the new source position.
+//  * Spectral: one mode-space multiply per column — no linear solve at all.
+// The free builders below keep the caller-owned-solver form for benches and
+// tests; `ElectroThermalSolver` itself goes through `thermal::SolverBackend`.
 #pragma once
 
 #include <span>
@@ -22,23 +22,26 @@
 
 #include "floorplan/floorplan.hpp"
 #include "numerics/dense.hpp"
-#include "thermal/fdm.hpp"
-#include "thermal/images.hpp"
+#include "thermal/backend.hpp"
 
 namespace ptherm::core {
 
 /// Surface point an influence row reports the rise at (a block centre in the
 /// co-simulation use).
-struct InfluenceSample {
-  double x = 0.0;
-  double y = 0.0;
-};
+using InfluenceSample = thermal::SurfaceSample;
 
 /// Cost counters from an influence build, for the perf trajectory.
 struct InfluenceBuildStats {
-  int columns = 0;                 ///< unit-source solves performed
-  long long cg_iterations = 0;     ///< total CG iterations (FDM backend only)
+  int columns = 0;              ///< unit-source solves performed
+  long long cg_iterations = 0;  ///< total CG iterations (FDM backend only)
+  int modes = 0;                ///< cosine modes carried (spectral backend)
+  long long fft_calls = 0;      ///< 1-D FFT invocations (spectral backend)
 };
+
+/// Projection of the backend cost counters onto the influence-build view —
+/// the ONE place the two structs are mapped, so a new backend counter cannot
+/// silently go missing from `influence_build_stats()`.
+[[nodiscard]] InfluenceBuildStats influence_stats_from(const thermal::BackendCostStats& cost);
 
 /// Square dense influence operator over flat row-major storage.
 class InfluenceOperator {
@@ -87,5 +90,11 @@ class InfluenceOperator {
     const thermal::FdmThermalSolver& solver, std::vector<thermal::HeatSource> sources,
     std::span<const InfluenceSample> samples, bool warm_start = true,
     InfluenceBuildStats* stats = nullptr);
+
+/// Batched spectral build against a caller-owned solver: each column is one
+/// analytic mode projection plus one mode-space multiply.
+[[nodiscard]] InfluenceOperator build_influence_spectral(
+    const thermal::SpectralThermalSolver& solver, std::vector<thermal::HeatSource> sources,
+    std::span<const InfluenceSample> samples, InfluenceBuildStats* stats = nullptr);
 
 }  // namespace ptherm::core

@@ -7,6 +7,12 @@
 
 namespace ptherm::core {
 
+void validate(const TransientCosimOptions& opts) {
+  PTHERM_REQUIRE(opts.dt > 0.0 && opts.t_stop > opts.dt,
+                 "TransientCosimOptions: bad time grid");
+  PTHERM_REQUIRE(opts.record_every >= 1, "TransientCosimOptions: record_every must be >= 1");
+}
+
 double TransientCosimResult::peak_temperature() const {
   double peak = 0.0;
   for (const auto& temps : block_temps) {
@@ -20,16 +26,22 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
                                            const ActivityProfile& activity,
                                            const TransientCosimOptions& opts) {
   PTHERM_REQUIRE(!fp.blocks().empty(), "transient cosim: empty floorplan");
-  PTHERM_REQUIRE(opts.dt > 0.0 && opts.t_stop > opts.dt, "transient cosim: bad time grid");
-  PTHERM_REQUIRE(opts.record_every >= 1, "transient cosim: record_every must be >= 1");
+  validate(opts);
   PTHERM_REQUIRE(static_cast<bool>(activity), "transient cosim: null activity profile");
 
   const auto& blocks = fp.blocks();
   const std::size_t n = blocks.size();
   const double t_sink = fp.die().t_sink;
 
-  thermal::FdmThermalSolver solver(fp.die(), opts.fdm);
-  std::vector<double> rise(solver.cell_count(), 0.0);
+  // The transient loop programs against the backend interface; the factory
+  // is shared with the steady solver, so backend settings stay uniform.
+  CosimOptions backend_opts;
+  backend_opts.backend = opts.backend;
+  backend_opts.fdm = opts.fdm;
+  const auto backend = make_thermal_backend(fp.die(), backend_opts);
+  PTHERM_REQUIRE(backend->supports_transient(),
+                 "transient cosim: selected thermal backend cannot integrate in time");
+  const auto state = backend->make_transient_state();
   std::vector<thermal::HeatSource> sources = fp.heat_sources(tech);
 
   TransientCosimResult result;
@@ -67,11 +79,10 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
       p_dyn += pd;
       p_leak += pl;
     }
-    result.total_cg_iterations += solver.step_transient(rise, h, sources);
+    result.total_cg_iterations += backend->step_transient(*state, h, sources);
     t += h;
-    const thermal::FdmThermalSolver::Solution view{rise, 0, true};
     for (std::size_t i = 0; i < n; ++i) {
-      temps[i] = t_sink + solver.surface_rise(view, blocks[i].rect.cx(), blocks[i].rect.cy());
+      temps[i] = t_sink + state->surface_rise(blocks[i].rect.cx(), blocks[i].rect.cy());
     }
     if ((s + 1) % opts.record_every == 0 || s + 1 == steps) record(t, p_leak, p_dyn);
   }

@@ -2,7 +2,9 @@
 // the steady concurrent solve. Dynamic power follows a caller-supplied
 // activity profile; leakage is re-evaluated from each block's instantaneous
 // temperature at every step (the electro-thermal feedback); heat diffuses
-// through the FDM substrate with backward Euler.
+// through a transient-capable thermal::SolverBackend (today the FDM
+// substrate with backward Euler — a backend without transient support is
+// rejected at entry).
 //
 // The paper stops at the steady problem; this module is the natural
 // extension its §5 implies ("compact analytical models for electro-thermal
@@ -13,8 +15,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/cosim.hpp"
 #include "floorplan/floorplan.hpp"
-#include "thermal/fdm.hpp"
 
 namespace ptherm::core {
 
@@ -23,12 +25,19 @@ namespace ptherm::core {
 using ActivityProfile = std::function<double(std::size_t block, double t)>;
 
 struct TransientCosimOptions {
+  /// Thermal backend for the time integration; must support transients
+  /// (today: Fdm). The enum keeps transient and steady selection uniform.
+  ThermalBackend backend = ThermalBackend::Fdm;
   thermal::FdmOptions fdm;
   double dt = 1e-4;          ///< time step [s]
   double t_stop = 20e-3;     ///< end time [s]
   double vb = 0.0;           ///< substrate bias [V]
   int record_every = 1;      ///< keep every k-th step in the result
 };
+
+/// Throws ptherm::PreconditionError on an unusable time grid
+/// (dt <= 0, t_stop <= dt, or record_every < 1).
+void validate(const TransientCosimOptions& opts);
 
 struct TransientCosimResult {
   std::vector<double> times;

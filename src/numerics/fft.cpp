@@ -1,0 +1,103 @@
+#include "numerics/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+namespace {
+
+// Iterative radix-2 Cooley-Tukey with a per-stage twiddle table (std::polar
+// per entry rather than repeated multiplication, so long transforms do not
+// accumulate twiddle drift).
+void transform(std::span<std::complex<double>> a, double sign) {
+  const std::size_t n = a.size();
+  PTHERM_REQUIRE(is_power_of_two(n), "fft: size must be a power of two");
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j |= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  std::vector<std::complex<double>> twiddle(n / 2);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    for (std::size_t k = 0; k < half; ++k) {
+      twiddle[k] = std::polar(1.0, ang * static_cast<double>(k));
+    }
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> u = a[base + k];
+        const std::complex<double> v = a[base + k + half] * twiddle[k];
+        a[base + k] = u + v;
+        a[base + k + half] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft(std::span<std::complex<double>> data) { transform(data, -1.0); }
+
+void ifft(std::span<std::complex<double>> data) {
+  transform(data, 1.0);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& c : data) c *= scale;
+}
+
+// Both DCTs ride on one positive-exponent FFT of size 2N: with
+// c[m] = x[m] exp(i pi m / (2N)) padded to 2N,
+//   sum_m c[m] exp(2 pi i m k / (2N)) = sum_m x[m] exp(i pi m (2k+1) / (2N)),
+// whose real part is the DCT-III; the DCT-II moves the phase factor to the
+// output side instead.
+std::vector<double> dct2(std::span<const double> x) {
+  const std::size_t n = x.size();
+  PTHERM_REQUIRE(is_power_of_two(n), "dct2: size must be a power of two");
+  std::vector<std::complex<double>> c(2 * n, {0.0, 0.0});
+  for (std::size_t m = 0; m < n; ++m) c[m] = x[m];
+  transform(c, 1.0);
+  const double step = std::numbers::pi / (2.0 * static_cast<double>(n));
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = (std::polar(1.0, step * static_cast<double>(k)) * c[k]).real();
+  }
+  return out;
+}
+
+std::vector<double> dct3(std::span<const double> x) {
+  const std::size_t n = x.size();
+  PTHERM_REQUIRE(is_power_of_two(n), "dct3: size must be a power of two");
+  const double step = std::numbers::pi / (2.0 * static_cast<double>(n));
+  std::vector<std::complex<double>> c(2 * n, {0.0, 0.0});
+  for (std::size_t m = 0; m < n; ++m) {
+    c[m] = x[m] * std::polar(1.0, step * static_cast<double>(m));
+  }
+  transform(c, 1.0);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = c[i].real();
+  return out;
+}
+
+std::vector<double> fold_cosine_modes(std::span<const double> coeff, int n_out) {
+  PTHERM_REQUIRE(n_out >= 1, "fold_cosine_modes: n_out must be positive");
+  const std::size_t period = 2 * static_cast<std::size_t>(n_out);
+  std::vector<double> out(static_cast<std::size_t>(n_out), 0.0);
+  for (std::size_t m = 0; m < coeff.size(); ++m) {
+    const std::size_t q = m / period;
+    const std::size_t r = m % period;
+    const double sign = (q % 2 == 0) ? 1.0 : -1.0;
+    if (r < static_cast<std::size_t>(n_out)) {
+      out[r] += sign * coeff[m];
+    } else if (r > static_cast<std::size_t>(n_out)) {
+      out[period - r] -= sign * coeff[m];
+    }
+    // r == n_out: cos(pi (2i+1) / 2) == 0 at every cell centre — drops out.
+  }
+  return out;
+}
+
+}  // namespace ptherm::numerics

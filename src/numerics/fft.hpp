@@ -1,0 +1,48 @@
+// Hand-rolled radix-2 FFT and the cosine transforms built on it. The
+// spectral thermal backend (thermal/spectral.hpp) synthesizes cosine-series
+// surface fields on cell-centre grids, which is exactly a DCT-III per axis;
+// no external FFT dependency is used or wanted (offline container).
+//
+// Conventions (no normalization hidden anywhere):
+//  * fft   — X[k] = sum_n x[n] exp(-2 pi i n k / N)
+//  * ifft  — x[n] = (1/N) sum_k X[k] exp(+2 pi i n k / N)
+//  * dct2  — X[k] = sum_n x[n] cos(pi k (2n+1) / (2N))   (analysis at
+//            half-sample points; the adjoint of dct3)
+//  * dct3  — y[i] = sum_m x[m] cos(pi m (2i+1) / (2N))   (synthesis of
+//            cosine modes at the cell centres (i+1/2)/N)
+// All sizes must be powers of two (the transforms are radix-2).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptherm::numerics {
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward DFT (negative-exponent kernel, unnormalized).
+void fft(std::span<std::complex<double>> data);
+
+/// In-place inverse DFT (positive-exponent kernel, scaled by 1/N).
+void ifft(std::span<std::complex<double>> data);
+
+/// DCT-II of `x` (see conventions above). One complex FFT of size 2N.
+[[nodiscard]] std::vector<double> dct2(std::span<const double> x);
+
+/// DCT-III synthesis of the cosine-mode coefficients `x` at the N half-sample
+/// points (i + 1/2)/N. One complex FFT of size 2N.
+[[nodiscard]] std::vector<double> dct3(std::span<const double> x);
+
+/// Folds an arbitrary-length cosine-mode coefficient vector onto `n_out`
+/// DCT-III slots using the alias identities of cos(pi m (2i+1) / (2 n_out)):
+/// mode m = 2*n_out*q + r lands on slot r with sign (-1)^q for r < n_out, on
+/// slot 2*n_out - r with sign -(-1)^q for r > n_out, and vanishes at every
+/// half-sample point for r == n_out. dct3(fold_cosine_modes(c, N)) therefore
+/// equals the exact mode sum of `c` at the N cell centres, for any mode count.
+[[nodiscard]] std::vector<double> fold_cosine_modes(std::span<const double> coeff, int n_out);
+
+}  // namespace ptherm::numerics

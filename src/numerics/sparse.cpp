@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <optional>
 
@@ -9,11 +10,23 @@
 
 namespace ptherm::numerics {
 
-SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+namespace {
+constexpr std::size_t kCsrIndexMax =
+    static_cast<std::size_t>(std::numeric_limits<CsrIndex>::max());
+}  // namespace
+
+SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  PTHERM_REQUIRE(rows <= kCsrIndexMax && cols <= kCsrIndexMax,
+                 "sparse matrix dimensions overflow the 32-bit CSR index");
+}
 
 void SparseBuilder::add(std::size_t row, std::size_t col, double value) {
   PTHERM_REQUIRE(row < rows_ && col < cols_, "sparse entry out of range");
-  if (value != 0.0) entries_.push_back({row, col, value});
+  if (value != 0.0) {
+    PTHERM_REQUIRE(entries_.size() < kCsrIndexMax,
+                   "sparse triplet count overflows the 32-bit CSR index");
+    entries_.push_back({row, col, value});
+  }
 }
 
 CsrMatrix::CsrMatrix(const SparseBuilder& builder)
@@ -39,7 +52,7 @@ CsrMatrix::CsrMatrix(const SparseBuilder& builder)
       sum += trips[order[j]].value;
       ++j;
     }
-    col_idx_.push_back(first.col);
+    col_idx_.push_back(static_cast<CsrIndex>(first.col));
     values_.push_back(sum);
     ++row_ptr_[first.row + 1];
     i = j;
@@ -51,8 +64,8 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   PTHERM_REQUIRE(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      sum += values_[k] * x[col_idx_[k]];
+    for (CsrIndex k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[static_cast<std::size_t>(col_idx_[k])];
     }
     y[r] = sum;
   }
@@ -67,8 +80,8 @@ std::vector<double> CsrMatrix::multiply(std::span<const double> x) const {
 std::vector<double> CsrMatrix::diagonal() const {
   std::vector<double> d(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      if (col_idx_[k] == r) d[r] = values_[k];
+    for (CsrIndex k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (static_cast<std::size_t>(col_idx_[k]) == r) d[r] = values_[k];
     }
   }
   return d;
@@ -76,25 +89,25 @@ std::vector<double> CsrMatrix::diagonal() const {
 
 IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a) {
   PTHERM_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
-  const std::size_t n = a.rows();
+  const CsrIndex n = static_cast<CsrIndex>(a.rows());
   const auto arp = a.row_ptr();
   const auto aci = a.col_indices();
   const auto av = a.values();
 
   // Copy the lower triangle (diagonal last — CSR columns are sorted).
-  row_ptr_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+  row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (CsrIndex i = 0; i < n; ++i) {
+    for (CsrIndex k = arp[i]; k < arp[i + 1]; ++k) {
       if (aci[k] <= i) ++row_ptr_[i + 1];
     }
   }
-  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
-  col_idx_.resize(row_ptr_[n]);
-  values_.resize(row_ptr_[n]);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t out = row_ptr_[i];
+  for (CsrIndex i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(static_cast<std::size_t>(row_ptr_[n]));
+  values_.resize(static_cast<std::size_t>(row_ptr_[n]));
+  for (CsrIndex i = 0; i < n; ++i) {
+    CsrIndex out = row_ptr_[i];
     bool has_diag = false;
-    for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+    for (CsrIndex k = arp[i]; k < arp[i + 1]; ++k) {
       if (aci[k] > i) break;
       col_idx_[out] = aci[k];
       values_[out] = av[k];
@@ -109,15 +122,15 @@ IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a) {
   // the shared sparsity j < k, then the diagonal picks up the remainder. A
   // two-pointer merge over the (sorted) partial rows evaluates each inner
   // product; stencil rows hold <= 4 lower entries so the cost is linear.
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t begin = row_ptr_[i];
-    const std::size_t diag = row_ptr_[i + 1] - 1;
-    for (std::size_t ik = begin; ik < diag; ++ik) {
-      const std::size_t k = col_idx_[ik];
+  for (CsrIndex i = 0; i < n; ++i) {
+    const CsrIndex begin = row_ptr_[i];
+    const CsrIndex diag = row_ptr_[i + 1] - 1;
+    for (CsrIndex ik = begin; ik < diag; ++ik) {
+      const CsrIndex k = col_idx_[ik];
       double s = values_[ik];
-      std::size_t pi = begin;
-      std::size_t pk = row_ptr_[k];
-      const std::size_t k_diag = row_ptr_[k + 1] - 1;
+      CsrIndex pi = begin;
+      CsrIndex pk = row_ptr_[k];
+      const CsrIndex k_diag = row_ptr_[k + 1] - 1;
       while (pi < ik && pk < k_diag) {
         if (col_idx_[pi] == col_idx_[pk]) {
           s -= values_[pi] * values_[pk];
@@ -132,7 +145,7 @@ IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a) {
       values_[ik] = s / values_[k_diag];
     }
     double d = values_[diag];
-    for (std::size_t ik = begin; ik < diag; ++ik) d -= values_[ik] * values_[ik];
+    for (CsrIndex ik = begin; ik < diag; ++ik) d -= values_[ik] * values_[ik];
     PTHERM_REQUIRE(d > 0.0, "IC(0) breakdown: non-positive pivot (matrix not SPD enough)");
     values_[diag] = std::sqrt(d);
   }
@@ -144,17 +157,21 @@ void IncompleteCholesky::apply(std::span<const double> r, std::span<double> z) c
   // Forward solve L y = r (y stored in z).
   for (std::size_t i = 0; i < n; ++i) {
     double s = r[i];
-    const std::size_t diag = row_ptr_[i + 1] - 1;
-    for (std::size_t k = row_ptr_[i]; k < diag; ++k) s -= values_[k] * z[col_idx_[k]];
+    const CsrIndex diag = row_ptr_[i + 1] - 1;
+    for (CsrIndex k = row_ptr_[i]; k < diag; ++k) {
+      s -= values_[k] * z[static_cast<std::size_t>(col_idx_[k])];
+    }
     z[i] = s / values_[diag];
   }
   // Backward solve L^T z = y, row-oriented: once z[i] is final, scatter its
   // contribution up the columns of L^T (= rows of L).
   for (std::size_t i = n; i-- > 0;) {
-    const std::size_t diag = row_ptr_[i + 1] - 1;
+    const CsrIndex diag = row_ptr_[i + 1] - 1;
     z[i] /= values_[diag];
     const double zi = z[i];
-    for (std::size_t k = row_ptr_[i]; k < diag; ++k) z[col_idx_[k]] -= values_[k] * zi;
+    for (CsrIndex k = row_ptr_[i]; k < diag; ++k) {
+      z[static_cast<std::size_t>(col_idx_[k])] -= values_[k] * zi;
+    }
   }
 }
 

@@ -1,0 +1,301 @@
+#include "thermal/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ptherm::thermal {
+
+std::unique_ptr<SolverBackend::TransientState> SolverBackend::make_transient_state() const {
+  std::ostringstream os;
+  os << "thermal backend '" << name() << "' does not support transients";
+  throw PreconditionError(os.str());
+}
+
+int SolverBackend::step_transient(TransientState&, double,
+                                  const std::vector<HeatSource>&) const {
+  std::ostringstream os;
+  os << "thermal backend '" << name() << "' does not support transients";
+  throw PreconditionError(os.str());
+}
+
+std::vector<double> SolverBackend::surface_rise_map(const std::vector<HeatSource>& sources,
+                                                    int nx, int ny) const {
+  PTHERM_REQUIRE(nx >= 2 && ny >= 2, "surface_rise_map: need at least a 2x2 grid");
+  std::vector<SurfaceSample> points;
+  points.reserve(static_cast<std::size_t>(nx) * ny);
+  for (int j = 0; j < ny; ++j) {
+    const double y = die().height * (j + 0.5) / ny;
+    for (int i = 0; i < nx; ++i) {
+      points.push_back({die().width * (i + 0.5) / nx, y});
+    }
+  }
+  return surface_rises(sources, points);
+}
+
+// ------------------------------------------------------------------ analytic
+
+AnalyticImagesBackend::AnalyticImagesBackend(Die die, ImageOptions opts)
+    : die_(die), opts_(opts) {}
+
+std::vector<double> AnalyticImagesBackend::surface_rises(
+    const std::vector<HeatSource>& sources, std::span<const SurfaceSample> points) const {
+  const ChipThermalModel model(die_, sources, opts_);
+  ++stats_.steady_solves;
+  std::vector<double> rises(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    rises[p] = model.rise(points[p].x, points[p].y);
+  }
+  return rises;
+}
+
+numerics::Matrix AnalyticImagesBackend::build_influence(
+    std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const {
+  return analytic_influence_columns(die_, sources, samples, opts_, &stats_);
+}
+
+// ---------------------------------------------------------------------- fdm
+
+namespace {
+
+/// FDM transient field: the backward-Euler state plus the solver handle that
+/// interprets it.
+class FdmTransientState final : public SolverBackend::TransientState {
+ public:
+  explicit FdmTransientState(const FdmThermalSolver& solver) : solver_(&solver) {
+    field_.rise.assign(solver.cell_count(), 0.0);
+    field_.converged = true;
+  }
+
+  [[nodiscard]] double surface_rise(double x, double y) const override {
+    return solver_->surface_rise(field_, x, y);
+  }
+
+  [[nodiscard]] std::vector<double>& rise() noexcept { return field_.rise; }
+  [[nodiscard]] const FdmThermalSolver* solver() const noexcept { return solver_; }
+
+ private:
+  const FdmThermalSolver* solver_;
+  FdmThermalSolver::Solution field_;
+};
+
+}  // namespace
+
+FdmBackend::FdmBackend(Die die, FdmOptions opts) : solver_(die, opts) {}
+
+std::vector<double> FdmBackend::surface_rises(const std::vector<HeatSource>& sources,
+                                              std::span<const SurfaceSample> points) const {
+  const auto sol = solver_.solve_steady(sources);
+  ++stats_.steady_solves;
+  stats_.cg_iterations += sol.cg_iterations;
+  if (!sol.converged) {
+    std::ostringstream os;
+    os << "FdmBackend: steady solve failed: "
+       << (sol.breakdown ? "CG breakdown (operator not positive definite)"
+                         : "CG hit the iteration limit")
+       << ", relative residual " << sol.residual << " after " << sol.cg_iterations
+       << " iterations";
+    throw ConvergenceError(os.str());
+  }
+  std::vector<double> rises(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    rises[p] = solver_.surface_rise(sol, points[p].x, points[p].y);
+  }
+  return rises;
+}
+
+numerics::Matrix FdmBackend::build_influence(std::span<const HeatSource> sources,
+                                             std::span<const SurfaceSample> samples) const {
+  return fdm_influence_columns(solver_, sources, samples, true, &stats_);
+}
+
+std::unique_ptr<SolverBackend::TransientState> FdmBackend::make_transient_state() const {
+  return std::make_unique<FdmTransientState>(solver_);
+}
+
+int FdmBackend::step_transient(TransientState& state, double dt,
+                               const std::vector<HeatSource>& sources) const {
+  auto* fdm_state = dynamic_cast<FdmTransientState*>(&state);
+  PTHERM_REQUIRE(fdm_state != nullptr && fdm_state->solver() == &solver_,
+                 "FdmBackend: transient state belongs to a different backend");
+  const int iterations = solver_.step_transient(fdm_state->rise(), dt, sources);
+  stats_.cg_iterations += iterations;
+  return iterations;
+}
+
+// ----------------------------------------------------------------- spectral
+
+SpectralBackend::SpectralBackend(Die die, SpectralOptions opts) : solver_(die, opts) {
+  stats_.modes = solver_.mode_count();
+}
+
+std::vector<double> SpectralBackend::surface_rises(
+    const std::vector<HeatSource>& sources, std::span<const SurfaceSample> points) const {
+  const auto sol = solver_.solve_steady(sources);
+  ++stats_.steady_solves;
+  std::vector<double> rises(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    rises[p] = solver_.surface_rise(sol, points[p].x, points[p].y);
+  }
+  return rises;
+}
+
+std::vector<double> SpectralBackend::surface_rise_map(const std::vector<HeatSource>& sources,
+                                                      int nx, int ny) const {
+  const auto sol = solver_.solve_steady(sources);
+  ++stats_.steady_solves;
+  return solver_.surface_map(sol, nx, ny);
+}
+
+numerics::Matrix SpectralBackend::build_influence(
+    std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const {
+  return spectral_influence_columns(solver_, sources, samples, &stats_);
+}
+
+BackendCostStats SpectralBackend::cost_stats() const {
+  BackendCostStats stats = stats_;
+  stats.fft_calls = solver_.fft_calls();
+  return stats;
+}
+
+// ------------------------------------------------------------ column builds
+
+numerics::Matrix analytic_influence_columns(const Die& die,
+                                            std::span<const HeatSource> sources,
+                                            std::span<const SurfaceSample> samples,
+                                            const ImageOptions& opts,
+                                            BackendCostStats* stats) {
+  const std::size_t n = sources.size();
+  PTHERM_REQUIRE(n > 0, "influence: no sources");
+  PTHERM_REQUIRE(samples.size() == n, "influence: need one sample per source");
+  numerics::Matrix r(samples.size(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // A single-source model per column evaluates only that column's mirror
+    // images — superposition makes the other sources' zero-power images
+    // exactly nothing.
+    std::vector<HeatSource> one = {sources[j]};
+    one[0].power = 1.0;
+    const ChipThermalModel model(die, std::move(one), opts);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      r(i, j) = model.rise(samples[i].x, samples[i].y);
+    }
+  }
+  if (stats != nullptr) stats->influence_columns += static_cast<int>(n);
+  return r;
+}
+
+numerics::Matrix fdm_influence_columns(const FdmThermalSolver& solver,
+                                       std::span<const HeatSource> sources,
+                                       std::span<const SurfaceSample> samples, bool warm_start,
+                                       BackendCostStats* stats) {
+  const std::size_t n = sources.size();
+  PTHERM_REQUIRE(n > 0, "influence: no sources");
+  PTHERM_REQUIRE(samples.size() == n, "influence: need one sample per source");
+  numerics::Matrix r(samples.size(), n);
+  std::vector<double> prev;  // previous column's converged field
+  std::vector<double> x0;    // translated warm-start scratch
+  double prev_cx = 0.0;
+  double prev_cy = 0.0;
+  const int nx = solver.nx();
+  const int ny = solver.ny();
+  const int nz = solver.nz();
+  const double dx = solver.die().width / nx;
+  const double dy = solver.die().height / ny;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<HeatSource> one = {sources[j]};
+    one[0].power = 1.0;
+    const std::vector<double>* start = nullptr;
+    if (warm_start && !prev.empty()) {
+      // Adjacent blocks have near-identical fields up to a lateral shift, so
+      // the previous column's field translated (edge-replicated) onto this
+      // column's source position is a far better first iterate than the
+      // unshifted field — unit-source right-hand sides are nearly disjoint,
+      // which makes the plain previous iterate no better than zero.
+      const int di = static_cast<int>(std::lround((sources[j].cx - prev_cx) / dx));
+      const int dj = static_cast<int>(std::lround((sources[j].cy - prev_cy) / dy));
+      x0.resize(prev.size());
+      for (int k = 0; k < nz; ++k) {
+        for (int jj = 0; jj < ny; ++jj) {
+          const int sj = std::clamp(jj - dj, 0, ny - 1);
+          for (int ii = 0; ii < nx; ++ii) {
+            const int si = std::clamp(ii - di, 0, nx - 1);
+            x0[solver.cell_index(ii, jj, k)] = prev[solver.cell_index(si, sj, k)];
+          }
+        }
+      }
+      start = &x0;
+    }
+    auto sol = solver.solve_steady(one, start);
+    if (!sol.converged) {
+      std::ostringstream os;
+      os << "influence: FDM solve for column " << j << " failed: "
+         << (sol.breakdown ? "CG breakdown (operator not positive definite)"
+                           : "CG hit the iteration limit")
+         << ", relative residual " << sol.residual << " after " << sol.cg_iterations
+         << " iterations";
+      PTHERM_REQUIRE(sol.converged, os.str());
+    }
+    if (stats != nullptr) {
+      stats->cg_iterations += sol.cg_iterations;
+      ++stats->influence_columns;
+    }
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      r(i, j) = solver.surface_rise(sol, samples[i].x, samples[i].y);
+    }
+    prev = std::move(sol.rise);
+    prev_cx = sources[j].cx;
+    prev_cy = sources[j].cy;
+  }
+  return r;
+}
+
+numerics::Matrix spectral_influence_columns(const SpectralThermalSolver& solver,
+                                            std::span<const HeatSource> sources,
+                                            std::span<const SurfaceSample> samples,
+                                            BackendCostStats* stats) {
+  const std::size_t n = sources.size();
+  PTHERM_REQUIRE(n > 0, "influence: no sources");
+  PTHERM_REQUIRE(samples.size() == n, "influence: need one sample per source");
+  const int mx = solver.modes_x();
+  const int my = solver.modes_y();
+  const std::size_t modes = static_cast<std::size_t>(solver.mode_count());
+  const Die& die = solver.die();
+  // Basis values at the samples, flattened to one row per sample so each
+  // column build is a single dense mode-space multiply.
+  numerics::Matrix basis(samples.size(), modes);
+  {
+    std::vector<double> cosx(static_cast<std::size_t>(mx));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (int m = 0; m < mx; ++m) {
+        cosx[m] = std::cos(m * std::numbers::pi * samples[i].x / die.width);
+      }
+      for (int nn = 0; nn < my; ++nn) {
+        const double cy = std::cos(nn * std::numbers::pi * samples[i].y / die.height);
+        const std::size_t row = static_cast<std::size_t>(nn) * mx;
+        for (int m = 0; m < mx; ++m) basis(i, row + m) = cy * cosx[m];
+      }
+    }
+  }
+  numerics::Matrix r(samples.size(), n);
+  std::vector<double> coeff(modes);
+  std::vector<double> column(samples.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<HeatSource> one = {sources[j]};
+    one[0].power = 1.0;
+    std::fill(coeff.begin(), coeff.end(), 0.0);
+    solver.accumulate_surface_coefficients(one, coeff);
+    basis.multiply(coeff, column);
+    for (std::size_t i = 0; i < samples.size(); ++i) r(i, j) = column[i];
+  }
+  if (stats != nullptr) {
+    stats->influence_columns += static_cast<int>(n);
+    stats->modes = static_cast<int>(modes);
+  }
+  return r;
+}
+
+}  // namespace ptherm::thermal

@@ -1,0 +1,190 @@
+// Pluggable thermal-backend layer: one interface over every way this library
+// can turn surface heat sources into temperature rises. The concurrent
+// electro-thermal solver, the transient co-simulation, and the influence
+// operator all program against `SolverBackend` instead of switching on an
+// enum, so a new solver (adaptive multigrid, GPU, package RC, ...) is a
+// drop-in: implement the interface, add a factory case.
+//
+// Capabilities:
+//  * steady solve + surface-rise queries (one shared solve, many points)
+//  * surface-rise maps on cell-centre grids
+//  * batched influence-column builds (rise per watt, column per source)
+//  * optional transient stepping (backends that can integrate in time)
+//  * cost counters for the perf trajectory (CG iterations, modes, FFTs)
+//
+// Backends are not thread-safe: the cost counters (and the FDM transient
+// cache) mutate under const calls. Use one backend instance per thread.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "numerics/dense.hpp"
+#include "thermal/fdm.hpp"
+#include "thermal/images.hpp"
+#include "thermal/spectral.hpp"
+
+namespace ptherm::thermal {
+
+/// A surface point a backend reports rises at (a block centre in the
+/// co-simulation use).
+struct SurfaceSample {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Cumulative cost counters since backend construction, for the perf
+/// trajectory. Backends fill the fields that measure their work and leave
+/// the rest zero.
+struct BackendCostStats {
+  int steady_solves = 0;        ///< full-field steady solves performed
+  int influence_columns = 0;    ///< unit-source influence columns built
+  long long cg_iterations = 0;  ///< total CG iterations (FDM)
+  int modes = 0;                ///< cosine modes carried (spectral)
+  long long fft_calls = 0;      ///< 1-D FFT invocations (spectral)
+};
+
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual const Die& die() const noexcept = 0;
+
+  /// Steady solve for `sources`, then the surface rise at each of `points`
+  /// [K above the sink]. One shared solve; per-point queries are cheap.
+  [[nodiscard]] virtual std::vector<double> surface_rises(
+      const std::vector<HeatSource>& sources, std::span<const SurfaceSample> points) const = 0;
+
+  /// Steady surface-rise map on the nx x ny cell-centre grid (row-major,
+  /// y outer). The default routes through surface_rises; backends with a
+  /// faster map path (spectral DCT synthesis) override.
+  [[nodiscard]] virtual std::vector<double> surface_rise_map(
+      const std::vector<HeatSource>& sources, int nx, int ny) const;
+
+  /// Batched influence build: entry (i, j) is the rise at samples[i] per
+  /// watt in sources[j] [K/W] (source powers are ignored; each column is a
+  /// unit-power solve).
+  [[nodiscard]] virtual numerics::Matrix build_influence(
+      std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const = 0;
+
+  /// Transient capability. Backends that can integrate in time return true
+  /// and implement the two methods below; the defaults throw
+  /// ptherm::PreconditionError.
+  [[nodiscard]] virtual bool supports_transient() const noexcept { return false; }
+
+  /// Opaque full-resolution transient field, starting at zero rise.
+  class TransientState {
+   public:
+    virtual ~TransientState() = default;
+    [[nodiscard]] virtual double surface_rise(double x, double y) const = 0;
+  };
+  [[nodiscard]] virtual std::unique_ptr<TransientState> make_transient_state() const;
+
+  /// Advances `state` by dt under `sources`; returns the inner-iteration
+  /// count (CG iterations for FDM).
+  virtual int step_transient(TransientState& state, double dt,
+                             const std::vector<HeatSource>& sources) const;
+
+  [[nodiscard]] virtual BackendCostStats cost_stats() const = 0;
+};
+
+/// The paper's fast path: closed-form image-method evaluation
+/// (thermal/images.hpp) behind the backend interface.
+class AnalyticImagesBackend final : public SolverBackend {
+ public:
+  AnalyticImagesBackend(Die die, ImageOptions opts = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "analytic"; }
+  [[nodiscard]] const Die& die() const noexcept override { return die_; }
+  [[nodiscard]] std::vector<double> surface_rises(
+      const std::vector<HeatSource>& sources,
+      std::span<const SurfaceSample> points) const override;
+  [[nodiscard]] numerics::Matrix build_influence(
+      std::span<const HeatSource> sources,
+      std::span<const SurfaceSample> samples) const override;
+  [[nodiscard]] BackendCostStats cost_stats() const override { return stats_; }
+
+ private:
+  Die die_;
+  ImageOptions opts_;
+  mutable BackendCostStats stats_;
+};
+
+/// The numerical reference: the 3-D finite-difference solver behind the
+/// backend interface. The only backend with transient support.
+class FdmBackend final : public SolverBackend {
+ public:
+  FdmBackend(Die die, FdmOptions opts = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "fdm"; }
+  [[nodiscard]] const Die& die() const noexcept override { return solver_.die(); }
+  [[nodiscard]] std::vector<double> surface_rises(
+      const std::vector<HeatSource>& sources,
+      std::span<const SurfaceSample> points) const override;
+  [[nodiscard]] numerics::Matrix build_influence(
+      std::span<const HeatSource> sources,
+      std::span<const SurfaceSample> samples) const override;
+  [[nodiscard]] bool supports_transient() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<TransientState> make_transient_state() const override;
+  int step_transient(TransientState& state, double dt,
+                     const std::vector<HeatSource>& sources) const override;
+  [[nodiscard]] BackendCostStats cost_stats() const override { return stats_; }
+
+  [[nodiscard]] const FdmThermalSolver& solver() const noexcept { return solver_; }
+
+ private:
+  FdmThermalSolver solver_;
+  mutable BackendCostStats stats_;
+};
+
+/// The FFT-accelerated spectral Green's-function solver
+/// (thermal/spectral.hpp) behind the backend interface.
+class SpectralBackend final : public SolverBackend {
+ public:
+  SpectralBackend(Die die, SpectralOptions opts = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "spectral"; }
+  [[nodiscard]] const Die& die() const noexcept override { return solver_.die(); }
+  [[nodiscard]] std::vector<double> surface_rises(
+      const std::vector<HeatSource>& sources,
+      std::span<const SurfaceSample> points) const override;
+  [[nodiscard]] std::vector<double> surface_rise_map(const std::vector<HeatSource>& sources,
+                                                     int nx, int ny) const override;
+  [[nodiscard]] numerics::Matrix build_influence(
+      std::span<const HeatSource> sources,
+      std::span<const SurfaceSample> samples) const override;
+  [[nodiscard]] BackendCostStats cost_stats() const override;
+
+  [[nodiscard]] const SpectralThermalSolver& solver() const noexcept { return solver_; }
+
+ private:
+  SpectralThermalSolver solver_;
+  mutable BackendCostStats stats_;
+};
+
+// Batched column builders, shared between the backend adapters above and the
+// free-standing influence API in core/influence.hpp (which accepts
+// caller-owned solvers). Column j is the rise at every sample per watt in
+// source j; `stats`, when non-null, receives the cost of this build only.
+
+[[nodiscard]] numerics::Matrix analytic_influence_columns(
+    const Die& die, std::span<const HeatSource> sources, std::span<const SurfaceSample> samples,
+    const ImageOptions& opts, BackendCostStats* stats = nullptr);
+
+/// Throws ptherm::PreconditionError naming the column, the failure mode (CG
+/// breakdown versus iteration limit), and the residual if a column fails.
+/// With `warm_start`, column j's CG starts from the previous column's field
+/// translated (edge-replicated) onto this column's source position.
+[[nodiscard]] numerics::Matrix fdm_influence_columns(
+    const FdmThermalSolver& solver, std::span<const HeatSource> sources,
+    std::span<const SurfaceSample> samples, bool warm_start,
+    BackendCostStats* stats = nullptr);
+
+[[nodiscard]] numerics::Matrix spectral_influence_columns(
+    const SpectralThermalSolver& solver, std::span<const HeatSource> sources,
+    std::span<const SurfaceSample> samples, BackendCostStats* stats = nullptr);
+
+}  // namespace ptherm::thermal

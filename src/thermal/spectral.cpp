@@ -1,0 +1,188 @@
+#include "thermal/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <span>
+
+#include "common/error.hpp"
+#include "numerics/dense.hpp"
+#include "numerics/fft.hpp"
+
+namespace ptherm::thermal {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// integral of cos(m pi u / extent) over [u0, u1].
+double cosine_footprint_integral(int m, double extent, double u0, double u1) {
+  if (m == 0) return u1 - u0;
+  const double f = m * kPi / extent;
+  return (std::sin(f * u1) - std::sin(f * u0)) / f;
+}
+
+}  // namespace
+
+SpectralThermalSolver::SpectralThermalSolver(Die die, SpectralOptions opts)
+    : die_(die), opts_(opts) {
+  PTHERM_REQUIRE(die_.width > 0.0 && die_.height > 0.0 && die_.thickness > 0.0,
+                 "SpectralThermalSolver: degenerate die");
+  PTHERM_REQUIRE(die_.k_si > 0.0, "SpectralThermalSolver: non-positive conductivity");
+  PTHERM_REQUIRE(opts_.modes_x >= 1 && opts_.modes_y >= 1,
+                 "SpectralThermalSolver: need at least the DC mode per axis");
+  const double t = die_.thickness;
+  transfer_.resize(static_cast<std::size_t>(mode_count()));
+  for (int n = 0; n < opts_.modes_y; ++n) {
+    const double gy = n * kPi / die_.height;
+    for (int m = 0; m < opts_.modes_x; ++m) {
+      const double gx = m * kPi / die_.width;
+      const double g = std::hypot(gx, gy);
+      transfer_[static_cast<std::size_t>(n) * opts_.modes_x + m] =
+          (g == 0.0) ? t / die_.k_si : std::tanh(g * t) / (die_.k_si * g);
+    }
+  }
+}
+
+void SpectralThermalSolver::accumulate_surface_coefficients(
+    const std::vector<HeatSource>& sources, std::vector<double>& coeff) const {
+  PTHERM_REQUIRE(coeff.size() == static_cast<std::size_t>(mode_count()),
+                 "spectral: coefficient vector size mismatch");
+  std::vector<double> px(static_cast<std::size_t>(opts_.modes_x));
+  std::vector<double> py(static_cast<std::size_t>(opts_.modes_y));
+  for (const auto& s : sources) {
+    PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "spectral: degenerate source (w, l must be > 0)");
+    // Clipping policy: the full power deposits over the die-clipped
+    // footprint; fully off-die sources are inert.
+    const double x0 = std::max(s.cx - 0.5 * s.w, 0.0);
+    const double x1 = std::min(s.cx + 0.5 * s.w, die_.width);
+    const double y0 = std::max(s.cy - 0.5 * s.l, 0.0);
+    const double y1 = std::min(s.cy + 0.5 * s.l, die_.height);
+    if (x1 <= x0 || y1 <= y0) continue;
+    const double density = s.power / ((x1 - x0) * (y1 - y0));
+    for (int m = 0; m < opts_.modes_x; ++m) {
+      px[static_cast<std::size_t>(m)] = cosine_footprint_integral(m, die_.width, x0, x1);
+    }
+    for (int n = 0; n < opts_.modes_y; ++n) {
+      py[static_cast<std::size_t>(n)] = cosine_footprint_integral(n, die_.height, y0, y1);
+    }
+    // Flux coefficients q_mn = (c_m c_n / (W H)) * density * px_m * py_n with
+    // c_0 = 1 and c_m = 2; the surface transfer turns flux into rise.
+    const double base = density / (die_.width * die_.height);
+    for (int n = 0; n < opts_.modes_y; ++n) {
+      const double fy = ((n == 0) ? 1.0 : 2.0) * py[static_cast<std::size_t>(n)] * base;
+      const std::size_t row = static_cast<std::size_t>(n) * opts_.modes_x;
+      for (int m = 0; m < opts_.modes_x; ++m) {
+        const double fx = ((m == 0) ? 1.0 : 2.0) * px[static_cast<std::size_t>(m)];
+        coeff[row + m] += transfer_[row + m] * fx * fy;
+      }
+    }
+  }
+}
+
+SpectralThermalSolver::Solution SpectralThermalSolver::solve_steady(
+    const std::vector<HeatSource>& sources) const {
+  Solution sol;
+  sol.coeff.assign(static_cast<std::size_t>(mode_count()), 0.0);
+  accumulate_surface_coefficients(sources, sol.coeff);
+  return sol;
+}
+
+double SpectralThermalSolver::surface_rise(const Solution& sol, double x, double y) const {
+  PTHERM_REQUIRE(sol.coeff.size() == static_cast<std::size_t>(mode_count()),
+                 "spectral: solution size mismatch");
+  std::vector<double> cosx(static_cast<std::size_t>(opts_.modes_x));
+  for (int m = 0; m < opts_.modes_x; ++m) cosx[m] = std::cos(m * kPi * x / die_.width);
+  double total = 0.0;
+  for (int n = 0; n < opts_.modes_y; ++n) {
+    const std::size_t row = static_cast<std::size_t>(n) * opts_.modes_x;
+    double inner = 0.0;
+    for (int m = 0; m < opts_.modes_x; ++m) inner += sol.coeff[row + m] * cosx[m];
+    total += inner * std::cos(n * kPi * y / die_.height);
+  }
+  return total;
+}
+
+double SpectralThermalSolver::rise_at_depth(const Solution& sol, double x, double y,
+                                            double z) const {
+  PTHERM_REQUIRE(sol.coeff.size() == static_cast<std::size_t>(mode_count()),
+                 "spectral: solution size mismatch");
+  const double t = die_.thickness;
+  PTHERM_REQUIRE(z >= 0.0 && z <= t, "spectral: depth outside the die");
+  std::vector<double> cosx(static_cast<std::size_t>(opts_.modes_x));
+  for (int m = 0; m < opts_.modes_x; ++m) cosx[m] = std::cos(m * kPi * x / die_.width);
+  double total = 0.0;
+  for (int n = 0; n < opts_.modes_y; ++n) {
+    const double gy = n * kPi / die_.height;
+    const std::size_t row = static_cast<std::size_t>(n) * opts_.modes_x;
+    double inner = 0.0;
+    for (int m = 0; m < opts_.modes_x; ++m) {
+      const double g = std::hypot(m * kPi / die_.width, gy);
+      // sinh(g (t - z)) / sinh(g t) = e^{-gz} (1 - e^{-2g(t-z)}) / (1 - e^{-2gt})
+      // — the overflow-safe form (g t reaches hundreds at high mode counts).
+      const double depth = (g == 0.0) ? (t - z) / t
+                                      : std::exp(-g * z) * (1.0 - std::exp(-2.0 * g * (t - z))) /
+                                            (1.0 - std::exp(-2.0 * g * t));
+      inner += sol.coeff[row + m] * depth * cosx[m];
+    }
+    total += inner * std::cos(gy * y);
+  }
+  return total;
+}
+
+std::vector<double> SpectralThermalSolver::surface_map(const Solution& sol, int nx,
+                                                       int ny) const {
+  PTHERM_REQUIRE(sol.coeff.size() == static_cast<std::size_t>(mode_count()),
+                 "spectral: solution size mismatch");
+  PTHERM_REQUIRE(nx >= 2 && ny >= 2, "surface_map: need at least a 2x2 grid");
+  std::vector<double> map(static_cast<std::size_t>(nx) * ny);
+  if (numerics::is_power_of_two(static_cast<std::size_t>(nx)) &&
+      numerics::is_power_of_two(static_cast<std::size_t>(ny))) {
+    // DCT synthesis: fold + DCT-III along x per coefficient row, then along y
+    // per output column. modes_y + nx one-dimensional transforms in total.
+    numerics::Matrix stage(static_cast<std::size_t>(opts_.modes_y),
+                           static_cast<std::size_t>(nx));
+    for (int n = 0; n < opts_.modes_y; ++n) {
+      const std::span<const double> row(sol.coeff.data() +
+                                            static_cast<std::size_t>(n) * opts_.modes_x,
+                                        static_cast<std::size_t>(opts_.modes_x));
+      const auto vals = numerics::dct3(numerics::fold_cosine_modes(row, nx));
+      ++fft_calls_;
+      for (int i = 0; i < nx; ++i) stage(n, i) = vals[static_cast<std::size_t>(i)];
+    }
+    std::vector<double> column(static_cast<std::size_t>(opts_.modes_y));
+    for (int i = 0; i < nx; ++i) {
+      for (int n = 0; n < opts_.modes_y; ++n) column[static_cast<std::size_t>(n)] = stage(n, i);
+      const auto vals = numerics::dct3(numerics::fold_cosine_modes(column, ny));
+      ++fft_calls_;
+      for (int j = 0; j < ny; ++j) map[static_cast<std::size_t>(j) * nx + i] = vals[j];
+    }
+    return map;
+  }
+  // Direct separable synthesis for grids the radix-2 DCT cannot take.
+  numerics::Matrix stage(static_cast<std::size_t>(opts_.modes_y), static_cast<std::size_t>(nx));
+  for (int i = 0; i < nx; ++i) {
+    const double x = die_.width * (i + 0.5) / nx;
+    for (int n = 0; n < opts_.modes_y; ++n) {
+      const std::size_t row = static_cast<std::size_t>(n) * opts_.modes_x;
+      double inner = 0.0;
+      for (int m = 0; m < opts_.modes_x; ++m) {
+        inner += sol.coeff[row + m] * std::cos(m * kPi * x / die_.width);
+      }
+      stage(n, i) = inner;
+    }
+  }
+  for (int j = 0; j < ny; ++j) {
+    const double y = die_.height * (j + 0.5) / ny;
+    for (int i = 0; i < nx; ++i) {
+      double total = 0.0;
+      for (int n = 0; n < opts_.modes_y; ++n) {
+        total += stage(n, i) * std::cos(n * kPi * y / die_.height);
+      }
+      map[static_cast<std::size_t>(j) * nx + i] = total;
+    }
+  }
+  return map;
+}
+
+}  // namespace ptherm::thermal

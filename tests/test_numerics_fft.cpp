@@ -1,0 +1,160 @@
+// Tests for the hand-rolled radix-2 FFT and the cosine transforms the
+// spectral thermal backend synthesizes fields with: known spectra, round
+// trips, agreement with direct O(N^2) definition sums, and the mode-folding
+// alias identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "numerics/fft.hpp"
+
+namespace ptherm::numerics {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> x(8, {0.0, 0.0});
+  x[0] = 1.0;
+  fft(x);
+  for (const auto& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 16;
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * kPi * 3.0 * static_cast<double>(i) / static_cast<double>(n));
+  }
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expect = (k == 3 || k == n - 3) ? n / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expect, 1e-10) << "bin " << k;
+  }
+}
+
+TEST(Fft, RoundTripRecoversRandomSignal) {
+  Rng rng(5);
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> x(n);
+  for (auto& c : x) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const auto original = x;
+  fft(x);
+  ifft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, MatchesDirectDftDefinition) {
+  Rng rng(11);
+  const std::size_t n = 32;
+  std::vector<std::complex<double>> x(n);
+  for (auto& c : x) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  auto fast = x;
+  fft(fast);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> direct{0.0, 0.0};
+    for (std::size_t m = 0; m < n; ++m) {
+      direct += x[m] * std::polar(1.0, -2.0 * kPi * static_cast<double>(k * m) /
+                                           static_cast<double>(n));
+    }
+    EXPECT_NEAR(std::abs(fast[k] - direct), 0.0, 1e-10) << "bin " << k;
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwoSizes) {
+  std::vector<std::complex<double>> x(12, {1.0, 0.0});
+  EXPECT_THROW(fft(x), PreconditionError);
+  std::vector<double> r(6, 1.0);
+  EXPECT_THROW((void)dct2(r), PreconditionError);
+  EXPECT_THROW((void)dct3(r), PreconditionError);
+}
+
+TEST(Dct, Dct2MatchesDefinitionSum) {
+  Rng rng(23);
+  const std::size_t n = 16;
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+  const auto fast = dct2(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    double direct = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      direct += x[m] * std::cos(kPi * static_cast<double>(k) * (2.0 * m + 1.0) / (2.0 * n));
+    }
+    EXPECT_NEAR(fast[k], direct, 1e-12) << "bin " << k;
+  }
+}
+
+TEST(Dct, Dct3MatchesDefinitionSum) {
+  Rng rng(29);
+  const std::size_t n = 64;
+  std::vector<double> coeff(n);
+  for (auto& v : coeff) v = rng.uniform(-2.0, 2.0);
+  const auto fast = dct3(coeff);
+  for (std::size_t i = 0; i < n; ++i) {
+    double direct = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      direct += coeff[m] * std::cos(kPi * static_cast<double>(m) * (2.0 * i + 1.0) / (2.0 * n));
+    }
+    EXPECT_NEAR(fast[i], direct, 1e-12) << "sample " << i;
+  }
+}
+
+TEST(Dct, Dct2Dct3RoundTripIsDiagonal) {
+  // With these (unnormalized) conventions dct2(dct3(x)) scales the DC mode
+  // by N and every other mode by N/2 — the cosine-basis orthogonality.
+  Rng rng(31);
+  const std::size_t n = 32;
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto back = dct2(dct3(x));
+  EXPECT_NEAR(back[0], static_cast<double>(n) * x[0], 1e-10);
+  for (std::size_t m = 1; m < n; ++m) {
+    EXPECT_NEAR(back[m], static_cast<double>(n) / 2.0 * x[m], 1e-10) << "mode " << m;
+  }
+}
+
+TEST(Dct, FoldedModesReproduceTheExactAliasedSum) {
+  // Synthesis of MORE modes than grid points: folding must agree with the
+  // direct mode sum at every cell centre, exercising all three alias cases
+  // (r < n, r == n dropping out, r > n with flipped sign).
+  Rng rng(37);
+  const int n_out = 8;
+  const std::size_t n_modes = 41;  // > 2 * 2 * n_out: several fold periods
+  std::vector<double> coeff(n_modes);
+  for (auto& v : coeff) v = rng.uniform(-1.0, 1.0);
+  const auto folded = fold_cosine_modes(coeff, n_out);
+  ASSERT_EQ(folded.size(), static_cast<std::size_t>(n_out));
+  const auto synth = dct3(folded);
+  for (int i = 0; i < n_out; ++i) {
+    double direct = 0.0;
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      direct += coeff[m] *
+                std::cos(kPi * static_cast<double>(m) * (2.0 * i + 1.0) / (2.0 * n_out));
+    }
+    EXPECT_NEAR(synth[i], direct, 1e-12) << "sample " << i;
+  }
+}
+
+TEST(Dct, FoldIsIdentityWhenModesFit) {
+  const std::vector<double> coeff = {1.0, -2.0, 0.5};
+  const auto folded = fold_cosine_modes(coeff, 4);
+  ASSERT_EQ(folded.size(), 4u);
+  EXPECT_DOUBLE_EQ(folded[0], 1.0);
+  EXPECT_DOUBLE_EQ(folded[1], -2.0);
+  EXPECT_DOUBLE_EQ(folded[2], 0.5);
+  EXPECT_DOUBLE_EQ(folded[3], 0.0);
+}
+
+}  // namespace
+}  // namespace ptherm::numerics
