@@ -10,6 +10,7 @@
 #include "core/cosim.hpp"
 #include "core/influence.hpp"
 #include "core/rc_network.hpp"
+#include "core/transient.hpp"
 #include "floorplan/generators.hpp"
 
 namespace {
@@ -184,6 +185,61 @@ void BM_CosimIterationOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_CosimIterationOnly)->Unit(benchmark::kMillisecond);
 
+
+// The PR-4 trajectory point: a 36-block, 200-step transient co-simulation
+// on the two transient-capable backends. The FDM path pays one backward-
+// Euler IC(0)-CG solve per step; the spectral path pays one exact per-mode
+// exponential update (a mode-space axpy) plus one dense gather matvec — the
+// counters record where the work went so a convergence change cannot
+// masquerade as a speedup.
+void transient_counters(benchmark::State& state, const core::TransientCosimResult& r) {
+  state.counters["steps"] = static_cast<double>(r.backend_stats.transient_steps);
+  state.counters["cg_iterations"] = static_cast<double>(r.backend_stats.cg_iterations);
+  state.counters["modes"] = static_cast<double>(r.backend_stats.modes);
+  state.counters["fft_calls"] = static_cast<double>(r.backend_stats.fft_calls);
+  state.counters["blocks"] = static_cast<double>(r.block_temps.empty()
+                                                     ? 0
+                                                     : r.block_temps.front().size());
+}
+
+void BM_TransientCosimFdm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  core::TransientCosimOptions opts;
+  opts.backend = core::ThermalBackend::Fdm;
+  opts.fdm.nx = 32;
+  opts.fdm.ny = 32;
+  opts.fdm.nz = 16;
+  opts.dt = 1e-4;
+  opts.t_stop = 20e-3;  // 200 steps
+  opts.record_every = 10;
+  const core::ActivityProfile profile = [](std::size_t, double) { return 1.0; };
+  core::TransientCosimResult last;
+  for (auto _ : state) {
+    last = core::solve_transient_cosim(device::Technology::cmos012(), fp, profile, opts);
+    benchmark::DoNotOptimize(last);
+  }
+  transient_counters(state, last);
+}
+BENCHMARK(BM_TransientCosimFdm)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_TransientCosimSpectral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = plan(n, n, 4.0);
+  core::TransientCosimOptions opts;
+  opts.backend = core::ThermalBackend::Spectral;
+  opts.dt = 1e-4;
+  opts.t_stop = 20e-3;  // 200 steps
+  opts.record_every = 10;
+  const core::ActivityProfile profile = [](std::size_t, double) { return 1.0; };
+  core::TransientCosimResult last;
+  for (auto _ : state) {
+    last = core::solve_transient_cosim(device::Technology::cmos012(), fp, profile, opts);
+    benchmark::DoNotOptimize(last);
+  }
+  transient_counters(state, last);
+}
+BENCHMARK(BM_TransientCosimSpectral)->Arg(6)->Unit(benchmark::kMillisecond);
 
 void BM_RcNetworkTransient(benchmark::State& state) {
   // The compact-RC transient (extension): a 20 ms electro-thermal transient

@@ -3,14 +3,33 @@
 // full activity and idle; the example traces block temperatures and shows
 // how leakage "breathes" with the thermal state (idle power is not constant
 // because the die is still hot from the previous burst).
+//
+// Build & run:  ./examples/thermal_cycling [fdm|spectral]
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "core/api.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptherm;
+
+  // Optional transient-backend selector (CI runs the example once per
+  // transient-capable backend): fdm is the backward-Euler reference,
+  // spectral the exact exponential-integrator path.
+  core::TransientCosimOptions opts;
+  if (argc > 1) {
+    const std::string choice = argv[1];
+    if (choice == "fdm") {
+      opts.backend = core::ThermalBackend::Fdm;
+    } else if (choice == "spectral") {
+      opts.backend = core::ThermalBackend::Spectral;
+    } else {
+      std::cerr << "unknown transient backend '" << choice << "' (want fdm or spectral)\n";
+      return 2;
+    }
+  }
 
   const auto tech = device::Technology::cmos012();
   thermal::Die die;
@@ -34,7 +53,6 @@ int main() {
     return phase < 4e-3 ? 1.6 : 0.05;
   };
 
-  core::TransientCosimOptions opts;
   opts.fdm.nx = 24;
   opts.fdm.ny = 24;
   opts.fdm.nz = 12;

@@ -8,7 +8,9 @@
 namespace ptherm::core {
 
 void validate(const TransientCosimOptions& opts) {
-  PTHERM_REQUIRE(opts.dt > 0.0 && opts.t_stop > opts.dt,
+  // t_stop == dt is a legitimate single-step run; only a grid that cannot
+  // fit one full step is rejected.
+  PTHERM_REQUIRE(opts.dt > 0.0 && opts.t_stop >= opts.dt,
                  "TransientCosimOptions: bad time grid");
   PTHERM_REQUIRE(opts.record_every >= 1, "TransientCosimOptions: record_every must be >= 1");
 }
@@ -38,6 +40,7 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
   CosimOptions backend_opts;
   backend_opts.backend = opts.backend;
   backend_opts.fdm = opts.fdm;
+  backend_opts.spectral = opts.spectral;
   const auto backend = make_thermal_backend(fp.die(), backend_opts);
   PTHERM_REQUIRE(backend->supports_transient(),
                  "transient cosim: selected thermal backend cannot integrate in time");
@@ -45,7 +48,21 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
   std::vector<thermal::HeatSource> sources = fp.heat_sources(tech);
 
   TransientCosimResult result;
-  const int steps = static_cast<int>(std::ceil(opts.t_stop / opts.dt - 1e-12));
+  // Whole steps that fit, plus one clamped step for any remainder. The
+  // adjustment undoes floating-point drift in t_stop / dt that would
+  // otherwise manufacture a spurious zero-length (or negative) final step —
+  // an exact comparison, no epsilon.
+  int steps = static_cast<int>(std::ceil(opts.t_stop / opts.dt));
+  if (steps > 1 && (steps - 1) * opts.dt >= opts.t_stop) --steps;
+
+  // Per-block readback points, hoisted: geometry is fixed for the whole run,
+  // and the batched query lets the backend gather all block temperatures at
+  // once (spectral: one dense matvec) instead of n independent queries.
+  std::vector<thermal::SurfaceSample> centres(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    centres[i] = {blocks[i].rect.cx(), blocks[i].rect.cy()};
+  }
+  std::vector<double> rises(n, 0.0);
 
   std::vector<double> temps(n, t_sink);
   auto record = [&](double t, double p_leak, double p_dyn) {
@@ -65,9 +82,13 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
     record(0.0, p_leak, p_dyn);
   }
 
-  double t = 0.0;
   for (int s = 0; s < steps; ++s) {
-    const double h = std::min(opts.dt, opts.t_stop - t);
+    const bool last = s + 1 == steps;
+    // Step boundaries come from the step index, not an accumulating sum, so
+    // roundoff cannot drift the grid; the final step lands exactly on
+    // t_stop.
+    const double t = s * opts.dt;
+    const double h = last ? opts.t_stop - s * opts.dt : opts.dt;
     // Semi-implicit coupling: powers from the temperatures at the beginning
     // of the step (the thermal time constants are far longer than any dt a
     // caller would pick, so the splitting error is negligible — tested).
@@ -80,12 +101,13 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
       p_leak += pl;
     }
     result.total_cg_iterations += backend->step_transient(*state, h, sources);
-    t += h;
-    for (std::size_t i = 0; i < n; ++i) {
-      temps[i] = t_sink + state->surface_rise(blocks[i].rect.cx(), blocks[i].rect.cy());
+    state->surface_rises(centres, rises);
+    for (std::size_t i = 0; i < n; ++i) temps[i] = t_sink + rises[i];
+    if ((s + 1) % opts.record_every == 0 || last) {
+      record(last ? opts.t_stop : (s + 1) * opts.dt, p_leak, p_dyn);
     }
-    if ((s + 1) % opts.record_every == 0 || s + 1 == steps) record(t, p_leak, p_dyn);
   }
+  result.backend_stats = backend->cost_stats();
   return result;
 }
 

@@ -2,9 +2,11 @@
 // the steady concurrent solve. Dynamic power follows a caller-supplied
 // activity profile; leakage is re-evaluated from each block's instantaneous
 // temperature at every step (the electro-thermal feedback); heat diffuses
-// through a transient-capable thermal::SolverBackend (today the FDM
-// substrate with backward Euler — a backend without transient support is
-// rejected at entry).
+// through a transient-capable thermal::SolverBackend — the FDM substrate
+// with backward Euler (the numerical reference) or the spectral solver with
+// exact per-mode exponential integrators (one mode-space update per step,
+// no linear solve). A backend without transient support is rejected at
+// entry.
 //
 // The paper stops at the steady problem; this module is the natural
 // extension its §5 implies ("compact analytical models for electro-thermal
@@ -26,9 +28,11 @@ using ActivityProfile = std::function<double(std::size_t block, double t)>;
 
 struct TransientCosimOptions {
   /// Thermal backend for the time integration; must support transients
-  /// (today: Fdm). The enum keeps transient and steady selection uniform.
+  /// (Fdm or Spectral). The enum keeps transient and steady selection
+  /// uniform; the default stays the FDM reference.
   ThermalBackend backend = ThermalBackend::Fdm;
-  thermal::FdmOptions fdm;
+  thermal::FdmOptions fdm;            ///< FDM backend settings
+  thermal::SpectralOptions spectral;  ///< spectral backend settings
   double dt = 1e-4;          ///< time step [s]
   double t_stop = 20e-3;     ///< end time [s]
   double vb = 0.0;           ///< substrate bias [V]
@@ -36,7 +40,8 @@ struct TransientCosimOptions {
 };
 
 /// Throws ptherm::PreconditionError on an unusable time grid
-/// (dt <= 0, t_stop <= dt, or record_every < 1).
+/// (dt <= 0, t_stop < dt, or record_every < 1). A single-step run
+/// (t_stop == dt) is legitimate.
 void validate(const TransientCosimOptions& opts);
 
 struct TransientCosimResult {
@@ -47,7 +52,14 @@ struct TransientCosimResult {
   std::vector<double> leakage_power;
   /// Total dynamic power at each recorded time [W].
   std::vector<double> dynamic_power;
+  /// Total inner backend iterations across all steps. The name is
+  /// historical: on the FDM backend these are CG iterations; other backends
+  /// report their own unit of inner work (spectral: one exact mode-space
+  /// update per step), so read it as "generic backend iterations".
   int total_cg_iterations = 0;
+  /// Backend cost counters for the whole run (steps served, CG iterations,
+  /// modes carried, FFT calls) — the perf-trajectory benches read these.
+  thermal::BackendCostStats backend_stats;
 
   [[nodiscard]] double peak_temperature() const;
 };

@@ -23,6 +23,15 @@ int SolverBackend::step_transient(TransientState&, double,
   throw PreconditionError(os.str());
 }
 
+void SolverBackend::TransientState::surface_rises(std::span<const SurfaceSample> points,
+                                                  std::span<double> out) const {
+  PTHERM_REQUIRE(out.size() == points.size(),
+                 "TransientState::surface_rises: output size mismatch");
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    out[p] = surface_rise(points[p].x, points[p].y);
+  }
+}
+
 std::vector<double> SolverBackend::surface_rise_map(const std::vector<HeatSource>& sources,
                                                     int nx, int ny) const {
   PTHERM_REQUIRE(nx >= 2 && ny >= 2, "surface_rise_map: need at least a 2x2 grid");
@@ -124,13 +133,105 @@ int FdmBackend::step_transient(TransientState& state, double dt,
                  "FdmBackend: transient state belongs to a different backend");
   const int iterations = solver_.step_transient(fdm_state->rise(), dt, sources);
   stats_.cg_iterations += iterations;
+  ++stats_.transient_steps;
   return iterations;
 }
 
 // ----------------------------------------------------------------- spectral
 
+namespace {
+
+/// Basis values cos(m pi x / W) cos(n pi y / H) at each point, one row per
+/// point in the solver's mode order: the dense mode-synthesis operator. One
+/// multiply against surface coefficients evaluates every point at once —
+/// shared by the influence build and the transient gather so the mode
+/// layout cannot diverge between them.
+numerics::Matrix mode_basis_matrix(const SpectralThermalSolver& solver,
+                                   std::span<const SurfaceSample> points) {
+  const int mx = solver.modes_x();
+  const int my = solver.modes_y();
+  const Die& die = solver.die();
+  numerics::Matrix basis(points.size(), static_cast<std::size_t>(solver.mode_count()));
+  std::vector<double> cosx(static_cast<std::size_t>(mx));
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (int m = 0; m < mx; ++m) {
+      cosx[m] = std::cos(m * std::numbers::pi * points[p].x / die.width);
+    }
+    for (int n = 0; n < my; ++n) {
+      const double cy = std::cos(n * std::numbers::pi * points[p].y / die.height);
+      const std::size_t row = static_cast<std::size_t>(n) * mx;
+      for (int m = 0; m < mx; ++m) basis(p, row + m) = cy * cosx[m];
+    }
+  }
+  return basis;
+}
+
+/// Spectral transient field: the per-mode amplitudes plus a cached
+/// mode-synthesis gather matrix, so the per-step block-temperature readback
+/// is one dense matvec instead of n independent cosine sums. The cache is
+/// keyed by the query points — transient drivers ask for the same block
+/// centres every step, so the basis is built once.
+class SpectralTransientState final : public SolverBackend::TransientState {
+ public:
+  explicit SpectralTransientState(const SpectralThermalSolver& solver)
+      : solver_(&solver), state_(solver.make_transient()) {}
+
+  [[nodiscard]] double surface_rise(double x, double y) const override {
+    return solver_->surface_rise(state_.surface, x, y);
+  }
+
+  void surface_rises(std::span<const SurfaceSample> points,
+                     std::span<double> out) const override {
+    PTHERM_REQUIRE(out.size() == points.size(),
+                   "TransientState::surface_rises: output size mismatch");
+    if (points.empty()) return;  // the 0 x modes gather would reject the matvec
+    if (!gather_matches(points)) rebuild_gather(points);
+    gather_.multiply(state_.surface.coeff, out);
+  }
+
+  [[nodiscard]] SpectralThermalSolver::TransientSolution& state() noexcept { return state_; }
+  [[nodiscard]] const SpectralThermalSolver* solver() const noexcept { return solver_; }
+
+ private:
+  [[nodiscard]] bool gather_matches(std::span<const SurfaceSample> points) const {
+    if (gather_points_.size() != points.size()) return false;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (gather_points_[p].x != points[p].x || gather_points_[p].y != points[p].y) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void rebuild_gather(std::span<const SurfaceSample> points) const {
+    gather_ = mode_basis_matrix(*solver_, points);
+    gather_points_.assign(points.begin(), points.end());
+  }
+
+  const SpectralThermalSolver* solver_;
+  SpectralThermalSolver::TransientSolution state_;
+  mutable numerics::Matrix gather_;
+  mutable std::vector<SurfaceSample> gather_points_;
+};
+
+}  // namespace
+
 SpectralBackend::SpectralBackend(Die die, SpectralOptions opts) : solver_(die, opts) {
   stats_.modes = solver_.mode_count();
+}
+
+std::unique_ptr<SolverBackend::TransientState> SpectralBackend::make_transient_state() const {
+  return std::make_unique<SpectralTransientState>(solver_);
+}
+
+int SpectralBackend::step_transient(TransientState& state, double dt,
+                                    const std::vector<HeatSource>& sources) const {
+  auto* sp_state = dynamic_cast<SpectralTransientState*>(&state);
+  PTHERM_REQUIRE(sp_state != nullptr && sp_state->solver() == &solver_,
+                 "SpectralBackend: transient state belongs to a different backend");
+  const int iterations = solver_.step_transient(sp_state->state(), dt, sources);
+  ++stats_.transient_steps;
+  return iterations;
 }
 
 std::vector<double> SpectralBackend::surface_rises(
@@ -260,26 +361,10 @@ numerics::Matrix spectral_influence_columns(const SpectralThermalSolver& solver,
   const std::size_t n = sources.size();
   PTHERM_REQUIRE(n > 0, "influence: no sources");
   PTHERM_REQUIRE(samples.size() == n, "influence: need one sample per source");
-  const int mx = solver.modes_x();
-  const int my = solver.modes_y();
   const std::size_t modes = static_cast<std::size_t>(solver.mode_count());
-  const Die& die = solver.die();
-  // Basis values at the samples, flattened to one row per sample so each
-  // column build is a single dense mode-space multiply.
-  numerics::Matrix basis(samples.size(), modes);
-  {
-    std::vector<double> cosx(static_cast<std::size_t>(mx));
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      for (int m = 0; m < mx; ++m) {
-        cosx[m] = std::cos(m * std::numbers::pi * samples[i].x / die.width);
-      }
-      for (int nn = 0; nn < my; ++nn) {
-        const double cy = std::cos(nn * std::numbers::pi * samples[i].y / die.height);
-        const std::size_t row = static_cast<std::size_t>(nn) * mx;
-        for (int m = 0; m < mx; ++m) basis(i, row + m) = cy * cosx[m];
-      }
-    }
-  }
+  // Basis values at the samples, one row per sample, so each column build is
+  // a single dense mode-space multiply.
+  const numerics::Matrix basis = mode_basis_matrix(solver, samples);
   numerics::Matrix r(samples.size(), n);
   std::vector<double> coeff(modes);
   std::vector<double> column(samples.size());

@@ -44,6 +44,7 @@ struct BackendCostStats {
   long long cg_iterations = 0;  ///< total CG iterations (FDM)
   int modes = 0;                ///< cosine modes carried (spectral)
   long long fft_calls = 0;      ///< 1-D FFT invocations (spectral)
+  long long transient_steps = 0;  ///< step_transient calls served
 };
 
 class SolverBackend {
@@ -80,11 +81,18 @@ class SolverBackend {
    public:
     virtual ~TransientState() = default;
     [[nodiscard]] virtual double surface_rise(double x, double y) const = 0;
+    /// Batched surface-rise readback into caller storage — what per-step
+    /// drivers (the transient cosim's block-temperature readback) call. The
+    /// default loops over surface_rise; backends with a faster gather
+    /// (spectral: one dense mode-synthesis matvec over all points) override.
+    virtual void surface_rises(std::span<const SurfaceSample> points,
+                               std::span<double> out) const;
   };
   [[nodiscard]] virtual std::unique_ptr<TransientState> make_transient_state() const;
 
   /// Advances `state` by dt under `sources`; returns the inner-iteration
-  /// count (CG iterations for FDM).
+  /// count (CG iterations for FDM; one exact mode-space update for
+  /// spectral).
   virtual int step_transient(TransientState& state, double dt,
                              const std::vector<HeatSource>& sources) const;
 
@@ -114,7 +122,8 @@ class AnalyticImagesBackend final : public SolverBackend {
 };
 
 /// The numerical reference: the 3-D finite-difference solver behind the
-/// backend interface. The only backend with transient support.
+/// backend interface. Transient-capable via backward Euler (one implicit
+/// CG solve per step).
 class FdmBackend final : public SolverBackend {
  public:
   FdmBackend(Die die, FdmOptions opts = {});
@@ -141,7 +150,9 @@ class FdmBackend final : public SolverBackend {
 };
 
 /// The FFT-accelerated spectral Green's-function solver
-/// (thermal/spectral.hpp) behind the backend interface.
+/// (thermal/spectral.hpp) behind the backend interface. Transient-capable:
+/// each step is the exact per-mode exponential update — O(modes) work, no
+/// linear solve, and no dt-dependent accuracy loss.
 class SpectralBackend final : public SolverBackend {
  public:
   SpectralBackend(Die die, SpectralOptions opts = {});
@@ -156,6 +167,10 @@ class SpectralBackend final : public SolverBackend {
   [[nodiscard]] numerics::Matrix build_influence(
       std::span<const HeatSource> sources,
       std::span<const SurfaceSample> samples) const override;
+  [[nodiscard]] bool supports_transient() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<TransientState> make_transient_state() const override;
+  int step_transient(TransientState& state, double dt,
+                     const std::vector<HeatSource>& sources) const override;
   [[nodiscard]] BackendCostStats cost_stats() const override;
 
   [[nodiscard]] const SpectralThermalSolver& solver() const noexcept { return solver_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <span>
 
@@ -22,6 +23,44 @@ double cosine_footprint_integral(int m, double extent, double u0, double u1) {
   return (std::sin(f * u1) - std::sin(f * u0)) / f;
 }
 
+/// Steady depth profile sinh(g (t - z)) / sinh(g t) ((t - z) / t at g = 0),
+/// in the overflow-safe exponential form (g t reaches hundreds at high mode
+/// counts).
+double steady_depth_profile(double g, double t, double z) {
+  if (g == 0.0) return (t - z) / t;
+  return std::exp(-g * z) * (1.0 - std::exp(-2.0 * g * (t - z))) /
+         (1.0 - std::exp(-2.0 * g * t));
+}
+
+/// Per-watt separable flux-projection factors of one source: the source's
+/// flux mode coefficient is power * px[m] * py[n] (c_m normalization and
+/// clipped-footprint density folded in). The single home of the clipping
+/// policy — full power over the die-clipped footprint, fully off-die
+/// sources inert (returns false with the factors zeroed), degenerate
+/// sources rejected — shared by the steady projection and the transient
+/// projection cache so the two paths cannot diverge.
+bool unit_flux_factors(const Die& die, const HeatSource& s, int modes_x, int modes_y,
+                       double* px, double* py) {
+  PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "spectral: degenerate source (w, l must be > 0)");
+  const double x0 = std::max(s.cx - 0.5 * s.w, 0.0);
+  const double x1 = std::min(s.cx + 0.5 * s.w, die.width);
+  const double y0 = std::max(s.cy - 0.5 * s.l, 0.0);
+  const double y1 = std::min(s.cy + 0.5 * s.l, die.height);
+  if (x1 <= x0 || y1 <= y0) {
+    std::fill(px, px + modes_x, 0.0);
+    std::fill(py, py + modes_y, 0.0);
+    return false;
+  }
+  const double base = 1.0 / ((x1 - x0) * (y1 - y0) * die.width * die.height);
+  for (int m = 0; m < modes_x; ++m) {
+    px[m] = ((m == 0) ? 1.0 : 2.0) * base * cosine_footprint_integral(m, die.width, x0, x1);
+  }
+  for (int n = 0; n < modes_y; ++n) {
+    py[n] = ((n == 0) ? 1.0 : 2.0) * cosine_footprint_integral(n, die.height, y0, y1);
+  }
+  return true;
+}
+
 }  // namespace
 
 SpectralThermalSolver::SpectralThermalSolver(Die die, SpectralOptions opts)
@@ -31,16 +70,45 @@ SpectralThermalSolver::SpectralThermalSolver(Die die, SpectralOptions opts)
   PTHERM_REQUIRE(die_.k_si > 0.0, "SpectralThermalSolver: non-positive conductivity");
   PTHERM_REQUIRE(opts_.modes_x >= 1 && opts_.modes_y >= 1,
                  "SpectralThermalSolver: need at least the DC mode per axis");
+  PTHERM_REQUIRE(opts_.modes_z >= 1,
+                 "SpectralThermalSolver: need at least one z-eigenfunction");
   const double t = die_.thickness;
-  transfer_.resize(static_cast<std::size_t>(mode_count()));
+  const std::size_t modes = static_cast<std::size_t>(mode_count());
+  const std::size_t mz = static_cast<std::size_t>(opts_.modes_z);
+  transfer_.resize(modes);
+  g2_.resize(modes);
   for (int n = 0; n < opts_.modes_y; ++n) {
     const double gy = n * kPi / die_.height;
     for (int m = 0; m < opts_.modes_x; ++m) {
       const double gx = m * kPi / die_.width;
       const double g = std::hypot(gx, gy);
-      transfer_[static_cast<std::size_t>(n) * opts_.modes_x + m] =
-          (g == 0.0) ? t / die_.k_si : std::tanh(g * t) / (die_.k_si * g);
+      const std::size_t mode = static_cast<std::size_t>(n) * opts_.modes_x + m;
+      transfer_[mode] = (g == 0.0) ? t / die_.k_si : std::tanh(g * t) / (die_.k_si * g);
+      g2_[mode] = g * g;
     }
+  }
+  // z eigenbasis cos(gamma_p z): adiabatic top (zero slope at z = 0),
+  // isothermal sink (zero value at z = t). Every mode's steady gain is
+  // 2 / (k t (g^2 + gamma_p^2)); the gains sum over all p to the steady
+  // transfer, so the truncated tail — carried quasi-statically by the
+  // transient integrator — is the closed-form difference. The tail modes'
+  // time constants fall like 1/gamma_p^2, so "quasi-static" is exact for any
+  // step a transient driver would take.
+  gamma2_.resize(mz);
+  for (std::size_t p = 0; p < mz; ++p) {
+    const double gamma = (static_cast<double>(p) + 0.5) * kPi / t;
+    gamma2_[p] = gamma * gamma;
+  }
+  gain_.resize(modes * mz);
+  tail_.resize(modes);
+  for (std::size_t mode = 0; mode < modes; ++mode) {
+    double carried = 0.0;
+    for (std::size_t p = 0; p < mz; ++p) {
+      const double gain = 2.0 / (die_.k_si * t * (g2_[mode] + gamma2_[p]));
+      gain_[mode * mz + p] = gain;
+      carried += gain;
+    }
+    tail_[mode] = transfer_[mode] - carried;
   }
 }
 
@@ -51,30 +119,16 @@ void SpectralThermalSolver::accumulate_surface_coefficients(
   std::vector<double> px(static_cast<std::size_t>(opts_.modes_x));
   std::vector<double> py(static_cast<std::size_t>(opts_.modes_y));
   for (const auto& s : sources) {
-    PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "spectral: degenerate source (w, l must be > 0)");
-    // Clipping policy: the full power deposits over the die-clipped
-    // footprint; fully off-die sources are inert.
-    const double x0 = std::max(s.cx - 0.5 * s.w, 0.0);
-    const double x1 = std::min(s.cx + 0.5 * s.w, die_.width);
-    const double y0 = std::max(s.cy - 0.5 * s.l, 0.0);
-    const double y1 = std::min(s.cy + 0.5 * s.l, die_.height);
-    if (x1 <= x0 || y1 <= y0) continue;
-    const double density = s.power / ((x1 - x0) * (y1 - y0));
-    for (int m = 0; m < opts_.modes_x; ++m) {
-      px[static_cast<std::size_t>(m)] = cosine_footprint_integral(m, die_.width, x0, x1);
+    if (!unit_flux_factors(die_, s, opts_.modes_x, opts_.modes_y, px.data(), py.data())) {
+      continue;
     }
+    // Flux coefficients q_mn = power * px_m * py_n; the surface transfer
+    // turns flux into rise.
     for (int n = 0; n < opts_.modes_y; ++n) {
-      py[static_cast<std::size_t>(n)] = cosine_footprint_integral(n, die_.height, y0, y1);
-    }
-    // Flux coefficients q_mn = (c_m c_n / (W H)) * density * px_m * py_n with
-    // c_0 = 1 and c_m = 2; the surface transfer turns flux into rise.
-    const double base = density / (die_.width * die_.height);
-    for (int n = 0; n < opts_.modes_y; ++n) {
-      const double fy = ((n == 0) ? 1.0 : 2.0) * py[static_cast<std::size_t>(n)] * base;
+      const double fy = s.power * py[static_cast<std::size_t>(n)];
       const std::size_t row = static_cast<std::size_t>(n) * opts_.modes_x;
       for (int m = 0; m < opts_.modes_x; ++m) {
-        const double fx = ((m == 0) ? 1.0 : 2.0) * px[static_cast<std::size_t>(m)];
-        coeff[row + m] += transfer_[row + m] * fx * fy;
+        coeff[row + m] += transfer_[row + m] * px[static_cast<std::size_t>(m)] * fy;
       }
     }
   }
@@ -118,12 +172,7 @@ double SpectralThermalSolver::rise_at_depth(const Solution& sol, double x, doubl
     double inner = 0.0;
     for (int m = 0; m < opts_.modes_x; ++m) {
       const double g = std::hypot(m * kPi / die_.width, gy);
-      // sinh(g (t - z)) / sinh(g t) = e^{-gz} (1 - e^{-2g(t-z)}) / (1 - e^{-2gt})
-      // — the overflow-safe form (g t reaches hundreds at high mode counts).
-      const double depth = (g == 0.0) ? (t - z) / t
-                                      : std::exp(-g * z) * (1.0 - std::exp(-2.0 * g * (t - z))) /
-                                            (1.0 - std::exp(-2.0 * g * t));
-      inner += sol.coeff[row + m] * depth * cosx[m];
+      inner += sol.coeff[row + m] * steady_depth_profile(g, t, z) * cosx[m];
     }
     total += inner * std::cos(gy * y);
   }
@@ -183,6 +232,145 @@ std::vector<double> SpectralThermalSolver::surface_map(const Solution& sol, int 
     }
   }
   return map;
+}
+
+// ------------------------------------------------------------------ transient
+
+SpectralThermalSolver::TransientSolution SpectralThermalSolver::make_transient() const {
+  PTHERM_REQUIRE(die_.cv_si > 0.0,
+                 "spectral transient: non-positive volumetric heat capacity");
+  TransientSolution state;
+  const std::size_t modes = static_cast<std::size_t>(mode_count());
+  state.surface.coeff.assign(modes, 0.0);
+  state.amps.assign(modes * static_cast<std::size_t>(opts_.modes_z), 0.0);
+  state.flux.assign(modes, 0.0);
+  return state;
+}
+
+void SpectralThermalSolver::refresh_projections(TransientSolution& state,
+                                                const std::vector<HeatSource>& sources) const {
+  const std::size_t n = sources.size();
+  const std::size_t mx = static_cast<std::size_t>(opts_.modes_x);
+  const std::size_t my = static_cast<std::size_t>(opts_.modes_y);
+  if (state.proj_key.size() != 4 * n) {
+    state.proj_key.assign(4 * n, std::numeric_limits<double>::quiet_NaN());
+    state.proj_x.assign(n * mx, 0.0);
+    state.proj_y.assign(n * my, 0.0);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const HeatSource& s = sources[j];
+    PTHERM_REQUIRE(s.w > 0.0 && s.l > 0.0, "spectral: degenerate source (w, l must be > 0)");
+    double* key = state.proj_key.data() + 4 * j;
+    if (key[0] == s.cx && key[1] == s.cy && key[2] == s.w && key[3] == s.l) continue;
+    key[0] = s.cx;
+    key[1] = s.cy;
+    key[2] = s.w;
+    key[3] = s.l;
+    // The shared projection core applies the steady path's clipping policy
+    // and folds the c_m normalization plus the per-watt flux density into
+    // the separable factors, so a step's projection is power * px_m * py_n.
+    unit_flux_factors(die_, s, opts_.modes_x, opts_.modes_y, state.proj_x.data() + j * mx,
+                      state.proj_y.data() + j * my);
+  }
+}
+
+int SpectralThermalSolver::step_transient(TransientSolution& state, double h,
+                                          const std::vector<HeatSource>& sources) const {
+  PTHERM_REQUIRE(h > 0.0, "step_transient: h must be positive");
+  const std::size_t modes = static_cast<std::size_t>(mode_count());
+  const std::size_t mz = static_cast<std::size_t>(opts_.modes_z);
+  const std::size_t mx = static_cast<std::size_t>(opts_.modes_x);
+  const std::size_t my = static_cast<std::size_t>(opts_.modes_y);
+  PTHERM_REQUIRE(state.amps.size() == modes * mz && state.surface.coeff.size() == modes,
+                 "step_transient: state belongs to a different spectral configuration");
+
+  // (1) Project the step's powers onto the flux modes. Geometry is cached
+  // per source, so between co-simulation steps this is a scaled rank-1
+  // accumulate per source — no trigonometry.
+  refresh_projections(state, sources);
+  std::fill(state.flux.begin(), state.flux.end(), 0.0);
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    const double power = sources[j].power;
+    if (power == 0.0) continue;
+    const double* px = state.proj_x.data() + j * mx;
+    const double* py = state.proj_y.data() + j * my;
+    for (std::size_t nn = 0; nn < my; ++nn) {
+      const double fy = power * py[nn];
+      if (fy == 0.0) continue;
+      double* row = state.flux.data() + nn * mx;
+      for (std::size_t m = 0; m < mx; ++m) row[m] += fy * px[m];
+    }
+  }
+
+  // (2) Decay factors keyed by h, in separable lateral x z form: the exact
+  // per-mode decay e^{-alpha (g^2 + gamma_p^2) h} is their product.
+  const double alpha = die_.k_si / die_.cv_si;
+  if (state.decay_h != h || state.decay_lat.size() != modes) {
+    state.decay_lat.resize(modes);
+    state.decay_z.resize(mz);
+    for (std::size_t mode = 0; mode < modes; ++mode) {
+      state.decay_lat[mode] = std::exp(-alpha * g2_[mode] * h);
+    }
+    for (std::size_t p = 0; p < mz; ++p) state.decay_z[p] = std::exp(-alpha * gamma2_[p] * h);
+    state.decay_h = h;
+  }
+
+  // (3) Advance every z-eigenmode amplitude exactly and synthesize the
+  // surface coefficients: the carried modes' sum plus the quasi-static tail.
+  for (std::size_t mode = 0; mode < modes; ++mode) {
+    const double dl = state.decay_lat[mode];
+    const double q = state.flux[mode];
+    double* amp = state.amps.data() + mode * mz;
+    const double* gain = gain_.data() + mode * mz;
+    double sum = 0.0;
+    for (std::size_t p = 0; p < mz; ++p) {
+      const double d = dl * state.decay_z[p];
+      amp[p] = amp[p] * d + q * gain[p] * (1.0 - d);
+      sum += amp[p];
+    }
+    state.surface.coeff[mode] = sum + tail_[mode] * q;
+  }
+  return 1;
+}
+
+double SpectralThermalSolver::rise_at_depth(const TransientSolution& state, double x, double y,
+                                            double z) const {
+  const std::size_t modes = static_cast<std::size_t>(mode_count());
+  const std::size_t mz = static_cast<std::size_t>(opts_.modes_z);
+  PTHERM_REQUIRE(state.amps.size() == modes * mz && state.surface.coeff.size() == modes,
+                 "spectral: transient state size mismatch");
+  const double t = die_.thickness;
+  PTHERM_REQUIRE(z >= 0.0 && z <= t, "spectral: depth outside the die");
+  std::vector<double> cosz(mz);
+  for (std::size_t p = 0; p < mz; ++p) cosz[p] = std::cos(std::sqrt(gamma2_[p]) * z);
+  std::vector<double> cosx(static_cast<std::size_t>(opts_.modes_x));
+  for (int m = 0; m < opts_.modes_x; ++m) cosx[m] = std::cos(m * kPi * x / die_.width);
+  double total = 0.0;
+  for (int n = 0; n < opts_.modes_y; ++n) {
+    const double gy = n * kPi / die_.height;
+    const std::size_t row = static_cast<std::size_t>(n) * opts_.modes_x;
+    double inner = 0.0;
+    for (int m = 0; m < opts_.modes_x; ++m) {
+      const std::size_t mode = row + m;
+      const double g = std::sqrt(g2_[mode]);
+      const double* amp = state.amps.data() + mode * mz;
+      const double* gain = gain_.data() + mode * mz;
+      // Carried z-modes at their eigenfunction values; the quasi-static
+      // remainder is the steady depth profile minus the carried modes'
+      // steady share, scaled by the current flux.
+      double carried = 0.0;
+      double carried_steady = 0.0;
+      for (std::size_t p = 0; p < mz; ++p) {
+        carried += amp[p] * cosz[p];
+        carried_steady += gain[p] * cosz[p];
+      }
+      const double tail = state.flux[mode] *
+                          (transfer_[mode] * steady_depth_profile(g, t, z) - carried_steady);
+      inner += (carried + tail) * cosx[m];
+    }
+    total += inner * std::cos(gy * y);
+  }
+  return total;
 }
 
 }  // namespace ptherm::thermal

@@ -13,6 +13,19 @@
 // Kemper-et-al. "ultrafast" formulation the influence operator wants: an
 // influence column costs one mode-space multiply instead of a CG solve.
 //
+// The decomposition diagonalizes the TRANSIENT problem too: with the same
+// adiabatic top and isothermal bottom, the z direction has the eigenbasis
+// cos(gamma_p z) with gamma_p = (p + 1/2) pi / t, so each (lateral mode,
+// z-mode) amplitude obeys an independent scalar ODE
+//     dA/dt = -lambda A + F,   lambda = alpha (g^2 + gamma_p^2),
+// whose solution under piecewise-constant power is the exact exponential
+// update A <- A e^{-lambda h} + (F/lambda)(1 - e^{-lambda h}). The per-mode
+// steady gains sum in closed form to the steady transfer (the identity
+// sum_p 2 / (t (g^2 + gamma_p^2)) = tanh(g t) / g), so the z-truncation
+// tail is carried quasi-statically and the long-time limit reproduces
+// solve_steady exactly; the truncated modes have sub-microsecond time
+// constants, far below any useful co-simulation step.
+//
 // Source-clipping policy matches the other backends: footprints are clipped
 // to the die and the FULL source power deposits over the clipped rectangle;
 // fully off-die sources contribute nothing; degenerate sources throw.
@@ -31,6 +44,10 @@ struct SpectralOptions {
   /// under a percent at block centres.
   int modes_x = 64;
   int modes_y = 64;
+  /// z-eigenfunctions per lateral mode carried explicitly by the transient
+  /// integrator; the truncated tail is folded in quasi-statically (its time
+  /// constants fall like 1/p^2 — mode 8 of a 350 um die settles in ~2 us).
+  int modes_z = 8;
 };
 
 class SpectralThermalSolver {
@@ -66,17 +83,82 @@ class SpectralThermalSolver {
   void accumulate_surface_coefficients(const std::vector<HeatSource>& sources,
                                        std::vector<double>& coeff) const;
 
+  /// Transient field in mode space: per-(lateral mode, z-mode) amplitudes
+  /// plus the synthesized surface solution, and the two step caches — the
+  /// per-source-geometry rectangle->mode projections (only powers change
+  /// between co-simulation steps, so re-projection is a scaled rank-1
+  /// accumulate) and the e^{-lambda h} decay factors keyed by the step size.
+  struct TransientSolution {
+    /// Surface-rise coefficients S_mn after the last step. A plain steady
+    /// Solution, so surface_rise / surface_map / the influence basis all
+    /// read a transient field with zero extra machinery.
+    Solution surface;
+    /// z-eigenmode amplitudes, lateral-mode major (amps[mode * modes_z + p]).
+    std::vector<double> amps;
+    /// Flux mode coefficients q_mn of the last-applied sources [W/m^2].
+    std::vector<double> flux;
+
+    // Projection cache: per-source separable footprint integrals (with the
+    // c_m normalization folded in) keyed by the source's clipped geometry.
+    std::vector<double> proj_x;    ///< modes_x per source
+    std::vector<double> proj_y;    ///< modes_y per source
+    std::vector<double> proj_key;  ///< cx, cy, w, l per cached source
+
+    // Decay cache: e^{-alpha g^2 h} and e^{-alpha gamma_p^2 h}, keyed by h
+    // (the exact decay is their product — the dt-cache trick, in separable
+    // form so a re-key costs modes + modes_z exponentials, not their product).
+    double decay_h = 0.0;
+    std::vector<double> decay_lat;
+    std::vector<double> decay_z;
+  };
+
+  /// Zero-rise transient field (everything at the sink temperature).
+  [[nodiscard]] TransientSolution make_transient() const;
+
+  /// Advances the field by `h` seconds under `sources` (held constant over
+  /// the step). The per-mode update is EXACT for piecewise-constant power —
+  /// accuracy does not depend on h, and one call with h == k*h' equals k
+  /// calls with h' to rounding. Returns 1: one mode-space update (the
+  /// generic "inner iteration" count transient drivers accumulate).
+  int step_transient(TransientSolution& state, double h,
+                     const std::vector<HeatSource>& sources) const;
+
+  /// Surface rise of a transient field (delegates to the steady query on the
+  /// synthesized surface coefficients).
+  [[nodiscard]] double surface_rise(const TransientSolution& state, double x, double y) const {
+    return surface_rise(state.surface, x, y);
+  }
+
+  /// Rise at depth z of the transient field: explicit z-modes evaluated at
+  /// cos(gamma_p z), truncation tail at its quasi-static depth profile. Used
+  /// for matched-depth comparison against the FDM trajectory (whose top
+  /// layer reports dz/2 below the surface).
+  [[nodiscard]] double rise_at_depth(const TransientSolution& state, double x, double y,
+                                     double z) const;
+
   [[nodiscard]] int modes_x() const noexcept { return opts_.modes_x; }
   [[nodiscard]] int modes_y() const noexcept { return opts_.modes_y; }
+  [[nodiscard]] int modes_z() const noexcept { return opts_.modes_z; }
   [[nodiscard]] int mode_count() const noexcept { return opts_.modes_x * opts_.modes_y; }
   /// 1-D FFT invocations performed by surface_map so far (cost counter).
   [[nodiscard]] long long fft_calls() const noexcept { return fft_calls_; }
   [[nodiscard]] const Die& die() const noexcept { return die_; }
 
  private:
+  /// Rebuilds the per-source projection cache entries whose geometry moved.
+  void refresh_projections(TransientSolution& state,
+                           const std::vector<HeatSource>& sources) const;
+
   Die die_;
   SpectralOptions opts_;
   std::vector<double> transfer_;  ///< tanh(g t) / (k g) per mode (t/k at DC)
+  std::vector<double> g2_;        ///< lateral eigenvalue g^2 per mode
+  std::vector<double> gamma2_;    ///< z eigenvalue gamma_p^2, p < modes_z
+  /// Steady gain of z-mode p of lateral mode mn: 2 / (k t (g^2 + gamma_p^2)),
+  /// lateral-mode major like TransientSolution::amps.
+  std::vector<double> gain_;
+  /// transfer_ minus the carried z-modes' gains: the quasi-static tail.
+  std::vector<double> tail_;
   mutable long long fft_calls_ = 0;
 };
 

@@ -132,13 +132,54 @@ TEST_P(BackendMatrix, SurfaceRiseMapAgreesWithPointQueries) {
 
 TEST_P(BackendMatrix, TransientCapabilityIsGatedNotSilentlyIgnored) {
   const auto backend = make_thermal_backend(die_1mm(), backend_opts(GetParam()));
-  if (GetParam() == ThermalBackend::Fdm) {
+  if (GetParam() == ThermalBackend::Fdm || GetParam() == ThermalBackend::Spectral) {
     EXPECT_TRUE(backend->supports_transient());
     EXPECT_NE(backend->make_transient_state(), nullptr);
   } else {
     EXPECT_FALSE(backend->supports_transient());
     EXPECT_THROW((void)backend->make_transient_state(), PreconditionError);
   }
+}
+
+TEST_P(BackendMatrix, BatchedTransientReadbackMatchesPointQueries) {
+  // The per-step block-temperature readback goes through the batched
+  // surface_rises (spectral: one dense mode-synthesis matvec; FDM: the
+  // default loop) — it must agree with the per-point virtual to rounding.
+  if (GetParam() == ThermalBackend::Analytic) GTEST_SKIP() << "steady-only backend";
+  const auto fp = small_plan();
+  const auto backend = make_thermal_backend(fp.die(), backend_opts(GetParam()));
+  const auto state = backend->make_transient_state();
+  auto sources = fp.heat_sources(tech());
+  backend->step_transient(*state, 5e-4, sources);
+  const auto samples = block_centre_samples(fp);
+  std::vector<double> batched(samples.size());
+  state->surface_rises(samples, batched);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double want = state->surface_rise(samples[i].x, samples[i].y);
+    EXPECT_GT(want, 0.0);
+    EXPECT_NEAR(batched[i], want, 1e-12 * want) << "sample " << i;
+  }
+  // Changing the query points must re-key the cached gather, not reuse it.
+  std::vector<thermal::SurfaceSample> moved(samples.begin(), samples.end());
+  moved[0].x *= 0.5;
+  std::vector<double> batched_moved(moved.size());
+  state->surface_rises(moved, batched_moved);
+  EXPECT_NEAR(batched_moved[0], state->surface_rise(moved[0].x, moved[0].y),
+              1e-12 * batched_moved[0]);
+  EXPECT_NE(batched_moved[0], batched[0]);
+}
+
+TEST(BackendAgreement, TransientStateIsRejectedByAForeignBackend) {
+  // A state minted by one backend must not be silently integrated by
+  // another — the field layouts are incompatible.
+  CosimOptions fdm_opts = backend_opts(ThermalBackend::Fdm);
+  const auto fdm = make_thermal_backend(die_1mm(), fdm_opts);
+  const auto spectral = make_thermal_backend(die_1mm(), backend_opts(ThermalBackend::Spectral));
+  const auto fdm_state = fdm->make_transient_state();
+  const auto sp_state = spectral->make_transient_state();
+  const auto sources = small_plan().heat_sources(tech());
+  EXPECT_THROW(spectral->step_transient(*fdm_state, 1e-4, sources), PreconditionError);
+  EXPECT_THROW(fdm->step_transient(*sp_state, 1e-4, sources), PreconditionError);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendMatrix,
@@ -251,26 +292,31 @@ TEST(OptionValidation, TransientOptionsAreCheckedAtEntry) {
   };
   expect_throw([](TransientCosimOptions& o) { o.dt = 0.0; });
   expect_throw([](TransientCosimOptions& o) { o.dt = -1e-4; });
-  expect_throw([](TransientCosimOptions& o) { o.t_stop = 0.5e-4; });  // <= dt
+  expect_throw([](TransientCosimOptions& o) { o.t_stop = 0.5e-4; });  // < dt
   expect_throw([](TransientCosimOptions& o) { o.record_every = 0; });
   // A steady-only backend must be rejected up front, not fail mid-run.
-  expect_throw([](TransientCosimOptions& o) { o.backend = ThermalBackend::Spectral; });
+  // (Spectral is transient-capable since the exponential-integrator backend;
+  // only the analytic image model remains steady-only.)
   expect_throw([](TransientCosimOptions& o) { o.backend = ThermalBackend::Analytic; });
 }
 
-TEST(OptionValidation, TransientRunsOnTheFdmBackend) {
+TEST(OptionValidation, TransientRunsOnEveryTransientCapableBackend) {
   const auto fp = small_plan(1.0);
-  TransientCosimOptions opts;
-  opts.fdm.nx = 8;
-  opts.fdm.ny = 8;
-  opts.fdm.nz = 4;
-  opts.dt = 1e-3;
-  opts.t_stop = 5e-3;
   const ActivityProfile nominal = [](std::size_t, double) { return 1.0; };
-  const auto r = solve_transient_cosim(tech(), fp, nominal, opts);
-  EXPECT_EQ(r.times.size(), r.block_temps.size());
-  EXPECT_GT(r.peak_temperature(), die_1mm().t_sink);
-  EXPECT_GT(r.total_cg_iterations, 0);
+  for (ThermalBackend b : {ThermalBackend::Fdm, ThermalBackend::Spectral}) {
+    TransientCosimOptions opts;
+    opts.backend = b;
+    opts.fdm.nx = 8;
+    opts.fdm.ny = 8;
+    opts.fdm.nz = 4;
+    opts.dt = 1e-3;
+    opts.t_stop = 5e-3;
+    const auto r = solve_transient_cosim(tech(), fp, nominal, opts);
+    EXPECT_EQ(r.times.size(), r.block_temps.size()) << backend_label(b);
+    EXPECT_GT(r.peak_temperature(), die_1mm().t_sink) << backend_label(b);
+    EXPECT_GT(r.total_cg_iterations, 0) << backend_label(b);
+    EXPECT_EQ(r.backend_stats.transient_steps, 5) << backend_label(b);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -146,6 +147,107 @@ TEST(TransientCosim, RejectsBadConfiguration) {
   opts = fast_opts();
   EXPECT_THROW(solve_transient_cosim(tech(), fp, ActivityProfile{}, opts),
                PreconditionError);
+}
+
+TEST(TransientCosim, SingleStepRunIsAccepted) {
+  // t_stop == dt is one legitimate step, not a configuration error.
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.t_stop = opts.dt;
+  const auto r = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+  ASSERT_EQ(r.times.size(), 2u);  // the initial record plus the one step
+  EXPECT_DOUBLE_EQ(r.times[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.times[1], opts.dt);
+  EXPECT_GT(r.block_temps[1][0], r.block_temps[0][0]);
+}
+
+TEST(TransientCosim, StepCountIsExactOnRepresentativeGrids) {
+  // t_stop / dt drifts off the integer in floating point for these grids;
+  // the step count must neither drop the final step nor append a spurious
+  // near-zero one, and the last record must land exactly on t_stop.
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.fdm.nx = 8;
+  opts.fdm.ny = 8;
+  opts.fdm.nz = 4;
+  for (const auto& [t_stop, dt, want_steps] : {std::tuple{12e-3, 2e-4, 60},
+                                               std::tuple{6e-3, 1e-4, 60},
+                                               std::tuple{12.5e-4, 1e-4, 13}}) {
+    opts.dt = dt;
+    opts.t_stop = t_stop;
+    const auto r = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+    EXPECT_EQ(r.times.size(), static_cast<std::size_t>(want_steps) + 1)
+        << "t_stop " << t_stop << " dt " << dt;
+    EXPECT_DOUBLE_EQ(r.times.back(), t_stop);
+  }
+}
+
+TEST(TransientCosim, SpectralBackendRunsAndSettlesOnItsSteadySolve) {
+  // The spectral transient backend end to end: monotone heating under
+  // constant power, and the long run lands on the spectral steady cosim
+  // (same backend, so no cross-model tolerance is involved).
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.backend = ThermalBackend::Spectral;
+  opts.t_stop = 60e-3;
+  const auto r = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+  ASSERT_GT(r.times.size(), 10u);
+  for (std::size_t k = 1; k < r.times.size(); ++k) {
+    for (std::size_t i = 0; i < r.block_temps[k].size(); ++i) {
+      EXPECT_GE(r.block_temps[k][i], r.block_temps[k - 1][i] - 1e-9)
+          << "step " << k << " block " << i;
+    }
+  }
+  CosimOptions sopts;
+  sopts.backend = ThermalBackend::Spectral;
+  ElectroThermalSolver steady(tech(), fp, sopts);
+  const auto s = steady.solve();
+  ASSERT_TRUE(s.converged);
+  for (std::size_t i = 0; i < s.blocks.size(); ++i) {
+    EXPECT_NEAR(r.block_temps.back()[i], s.blocks[i].temperature, 0.2) << "block " << i;
+  }
+  // The generic iteration counter counts one exact mode-space update per
+  // step on this backend, and the cost counters expose the step total.
+  const int steps = static_cast<int>(r.times.size()) - 1;
+  EXPECT_EQ(r.total_cg_iterations, steps);
+  EXPECT_EQ(r.backend_stats.transient_steps, steps);
+  EXPECT_EQ(r.backend_stats.cg_iterations, 0);
+  EXPECT_GT(r.backend_stats.modes, 0);
+}
+
+TEST(TransientCosim, SpectralTrajectoryTracksTheFdmTrajectory) {
+  // Cross-backend trajectory agreement at the co-simulation level. The two
+  // readbacks differ by the FDM top-layer cell-centre depth (dz/2) and the
+  // reference's O(dt) backward-Euler error, so the band here is the loose
+  // cosim-level one; the 2% matched-depth bar lives in
+  // test_thermal_spectral.cpp where depth is controlled.
+  const auto fp = small_plan();
+  TransientCosimOptions fdm_opts;
+  fdm_opts.backend = ThermalBackend::Fdm;
+  fdm_opts.fdm.nx = 24;
+  fdm_opts.fdm.ny = 24;
+  fdm_opts.fdm.nz = 12;
+  fdm_opts.dt = 1e-4;
+  fdm_opts.t_stop = 8e-3;
+  auto sp_opts = fdm_opts;
+  sp_opts.backend = ThermalBackend::Spectral;
+  const auto f = solve_transient_cosim(tech(), fp, constant_activity(), fdm_opts);
+  const auto s = solve_transient_cosim(tech(), fp, constant_activity(), sp_opts);
+  ASSERT_EQ(f.times.size(), s.times.size());
+  const double sink = die_1mm().t_sink;
+  for (std::size_t k = 1; k < f.times.size(); ++k) {
+    if (f.times[k] < 1e-3) continue;  // skip the backward-Euler-dominated start
+    for (std::size_t i = 0; i < f.block_temps[k].size(); ++i) {
+      const double rise_f = f.block_temps[k][i] - sink;
+      const double rise_s = s.block_temps[k][i] - sink;
+      EXPECT_NEAR(rise_s, rise_f, 0.10 * rise_f)
+          << "t = " << f.times[k] << " block " << i;
+    }
+  }
+  // Total leakage trajectories must agree too (the electro-thermal feedback
+  // sees near-identical temperatures).
+  EXPECT_NEAR(s.leakage_power.back(), f.leakage_power.back(),
+              0.10 * f.leakage_power.back());
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 // Tests for the spectral (cosine-series) Green's-function solver: exact
 // identities (uniform source, DC-mode power conservation, depth limits),
 // agreement with the FDM reference at matched depth (the acceptance bar for
-// the backend), FFT-vs-direct map equivalence, and the source-clipping
-// policy shared with the other backends.
+// the backend), FFT-vs-direct map equivalence, the source-clipping policy
+// shared with the other backends, and the transient integrator — whose
+// per-mode exponential updates must be exact for piecewise-constant power,
+// land exactly on the steady solve in the long-time limit, and track the
+// backward-Euler FDM trajectory at matched depth.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -175,6 +178,192 @@ TEST(Spectral, NonPowerOfTwoMapFallsBackToDirectSynthesis) {
                   1e-9);
     }
   }
+}
+
+// ------------------------------------------------------------------ transient
+
+std::vector<HeatSource> two_sources() {
+  return {{0.3e-3, 0.4e-3, 0.25e-3, 0.2e-3, 1.5}, {0.7e-3, 0.6e-3, 0.2e-3, 0.3e-3, 0.8}};
+}
+
+TEST(SpectralTransient, RejectsBadConfiguration) {
+  SpectralOptions no_z;
+  no_z.modes_z = 0;
+  EXPECT_THROW(SpectralThermalSolver(die_1mm(), no_z), PreconditionError);
+
+  const SpectralThermalSolver solver(die_1mm(), {});
+  auto state = solver.make_transient();
+  EXPECT_THROW(solver.step_transient(state, 0.0, two_sources()), PreconditionError);
+  EXPECT_THROW(solver.step_transient(state, -1e-4, two_sources()), PreconditionError);
+  EXPECT_THROW(solver.step_transient(state, 1e-4, {{0.5e-3, 0.5e-3, 0.0, 0.1e-3, 1.0}}),
+               PreconditionError);  // degenerate source
+  // A state from a differently-sized solver is rejected, not misread.
+  SpectralOptions other;
+  other.modes_x = 32;
+  const SpectralThermalSolver small(die_1mm(), other);
+  auto small_state = small.make_transient();
+  EXPECT_THROW(solver.step_transient(small_state, 1e-4, two_sources()), PreconditionError);
+}
+
+TEST(SpectralTransient, ExactForPiecewiseConstantPower) {
+  // The per-mode update is the closed-form solution of the mode ODE, so one
+  // step of h must equal k sub-steps of h/k to rounding — accuracy does not
+  // depend on the step size.
+  const SpectralThermalSolver solver(die_1mm(), {});
+  const auto sources = two_sources();
+  const double h = 3e-4;
+  auto one = solver.make_transient();
+  solver.step_transient(one, h, sources);
+  auto sub = solver.make_transient();
+  for (int i = 0; i < 4; ++i) solver.step_transient(sub, h / 4.0, sources);
+  for (double x : {0.3e-3, 0.5e-3, 0.8e-3}) {
+    for (double y : {0.4e-3, 0.6e-3}) {
+      const double a = solver.surface_rise(one, x, y);
+      const double b = solver.surface_rise(sub, x, y);
+      EXPECT_NEAR(a, b, 1e-12 * std::abs(a)) << "at (" << x << ", " << y << ")";
+    }
+  }
+  // Depth evaluation is consistent between the two paths too, and the depth
+  // limits hold mid-transient: z = 0 is the surface sum, z = t the sink.
+  const double z = die_1mm().thickness / 3.0;
+  EXPECT_NEAR(solver.rise_at_depth(one, 0.4e-3, 0.5e-3, z),
+              solver.rise_at_depth(sub, 0.4e-3, 0.5e-3, z),
+              1e-12 * solver.rise_at_depth(one, 0.4e-3, 0.5e-3, z));
+  EXPECT_NEAR(solver.rise_at_depth(one, 0.4e-3, 0.5e-3, 0.0),
+              solver.surface_rise(one, 0.4e-3, 0.5e-3), 1e-12);
+  EXPECT_NEAR(solver.rise_at_depth(one, 0.4e-3, 0.5e-3, die_1mm().thickness), 0.0, 1e-12);
+}
+
+TEST(SpectralTransient, LongTimeLimitIsTheSteadySolve) {
+  // The z-mode gains sum to the steady transfer by construction (the
+  // truncated tail is carried quasi-statically), so a fully-settled
+  // transient IS the steady solve — to rounding, not to a model tolerance.
+  const SpectralThermalSolver solver(die_1mm(), {});
+  const auto sources = two_sources();
+  const auto steady = solver.solve_steady(sources);
+  auto settled = solver.make_transient();
+  solver.step_transient(settled, 10.0, sources);  // one giant exact step
+  auto stepped = solver.make_transient();
+  for (int s = 0; s < 300; ++s) solver.step_transient(stepped, 2e-5, sources);  // 6 ms ~ 11 tau
+  for (const auto& s : sources) {
+    const double ref = solver.surface_rise(steady, s.cx, s.cy);
+    EXPECT_NEAR(solver.surface_rise(settled, s.cx, s.cy), ref, 1e-12 * ref);
+    EXPECT_NEAR(solver.surface_rise(stepped, s.cx, s.cy), ref, 1e-3 * ref);
+  }
+  // Cut the power: the field must decay back to the sink everywhere.
+  auto cooled = settled;
+  auto off = sources;
+  for (auto& s : off) s.power = 0.0;
+  solver.step_transient(cooled, 10.0, off);
+  EXPECT_NEAR(solver.surface_rise(cooled, sources[0].cx, sources[0].cy), 0.0, 1e-10);
+}
+
+TEST(SpectralTransient, ProjectionCacheFollowsGeometryAndPowerChanges) {
+  const SpectralThermalSolver solver(die_1mm(), {});
+  const auto first = two_sources();
+  // Power-only changes ride the cached projections as a scaled accumulate:
+  // settling with doubled powers must give exactly twice the steady field
+  // (linearity), even though the geometry entries were cached on step one.
+  auto state = solver.make_transient();
+  solver.step_transient(state, 1e-4, first);
+  auto doubled = first;
+  for (auto& s : doubled) s.power *= 2.0;
+  solver.step_transient(state, 10.0, doubled);
+  const auto steady = solver.solve_steady(first);
+  const double ref = 2.0 * solver.surface_rise(steady, first[0].cx, first[0].cy);
+  EXPECT_NEAR(solver.surface_rise(state, first[0].cx, first[0].cy), ref, 1e-12 * ref);
+  // A geometry change must rebuild the stale entries: settle under a moved
+  // footprint and the field is the moved footprint's steady solve, not the
+  // cached one's.
+  auto moved = first;
+  moved[0].cx = 0.55e-3;
+  moved[0].w = 0.3e-3;
+  moved[1].power = 0.0;
+  solver.step_transient(state, 10.0, moved);
+  const auto moved_steady = solver.solve_steady(moved);
+  for (double x : {0.2e-3, 0.55e-3, 0.8e-3}) {
+    const double want = solver.surface_rise(moved_steady, x, 0.5e-3);
+    EXPECT_NEAR(solver.surface_rise(state, x, 0.5e-3), want, 1e-12 * std::abs(want));
+  }
+}
+
+TEST(SpectralTransient, MatchedDepthAgreementWithFdmTrajectory) {
+  // The transient acceptance bar: against a fine-dt backward-Euler FDM
+  // reference (32 x 32 x 16), the spectral trajectory stays within 2% at
+  // the source centres at every compared time. FDM reports its top layer at
+  // depth dz/2, so the spectral field is read there (rise_at_depth); the
+  // residual difference is the reference's own O(dt) + O(h^2) error, which
+  // the refinement test below pins down.
+  const Die die = die_1mm();
+  FdmOptions fo;
+  fo.nx = 32;
+  fo.ny = 32;
+  fo.nz = 16;
+  const FdmThermalSolver fdm(die, fo);
+  const SpectralThermalSolver spectral(die, {});
+  const auto sources = two_sources();
+  const double dt = 5e-6;
+  const int steps = 120;  // to 600 us, ~1.1 die time constants
+  const double z_query = die.thickness / fo.nz / 2.0;
+  std::vector<double> rise(fdm.cell_count(), 0.0);
+  auto state = spectral.make_transient();
+  FdmThermalSolver::Solution fdm_view;
+  fdm_view.converged = true;
+  for (int s = 1; s <= steps; ++s) {
+    fdm.step_transient(rise, dt, sources);
+    spectral.step_transient(state, dt, sources);
+    const double t = s * dt;
+    if (t < 1.5e-4 || s % 10 != 0) continue;
+    fdm_view.rise = std::move(rise);
+    for (const auto& q : sources) {
+      const double ref = fdm.surface_rise(fdm_view, q.cx, q.cy);
+      const double got = spectral.rise_at_depth(state, q.cx, q.cy, z_query);
+      EXPECT_NEAR(got, ref, 0.02 * ref) << "t = " << t << " s at (" << q.cx << ", " << q.cy
+                                        << ")";
+    }
+    rise = std::move(fdm_view.rise);
+  }
+}
+
+TEST(SpectralTransient, FdmTrajectoryConvergesTowardSpectralUnderDtRefinement) {
+  // The spectral update is exact in time, so refining the FDM reference's dt
+  // must shrink the disagreement — the difference is the reference's error,
+  // not the integrator's.
+  const Die die = die_1mm();
+  FdmOptions fo;
+  fo.nx = 32;
+  fo.ny = 32;
+  fo.nz = 16;
+  const FdmThermalSolver fdm(die, fo);
+  const SpectralThermalSolver spectral(die, {});
+  const auto sources = two_sources();
+  const double t_end = 3e-4;
+  const double z_query = die.thickness / fo.nz / 2.0;
+  auto max_deviation = [&](double dt) {
+    std::vector<double> rise(fdm.cell_count(), 0.0);
+    auto state = spectral.make_transient();
+    const int steps = static_cast<int>(std::llround(t_end / dt));
+    for (int s = 0; s < steps; ++s) {
+      fdm.step_transient(rise, dt, sources);
+      spectral.step_transient(state, dt, sources);
+    }
+    FdmThermalSolver::Solution view;
+    view.rise = std::move(rise);
+    view.converged = true;
+    double worst = 0.0;
+    for (const auto& q : sources) {
+      const double ref = fdm.surface_rise(view, q.cx, q.cy);
+      const double got = spectral.rise_at_depth(state, q.cx, q.cy, z_query);
+      worst = std::max(worst, std::abs(got - ref) / ref);
+    }
+    return worst;
+  };
+  const double coarse = max_deviation(3e-5);
+  const double fine = max_deviation(7.5e-6);
+  EXPECT_LT(fine, coarse);
+  // O(dt) error should shrink roughly linearly; allow generous slack for the
+  // dt-independent spatial floor underneath.
+  EXPECT_LT(fine, 0.75 * coarse);
 }
 
 TEST(Spectral, MapSynthesisFoldsModesBeyondTheGrid) {
