@@ -1,0 +1,101 @@
+// Scenario: closed-loop runtime thermal management. A migrating hot task
+// rotates across a 3x3 compute array while three governors try to hold the
+// die under a temperature cap: none (the uncontrolled baseline), reactive
+// threshold throttling with hysteresis, and a PID frequency governor. The
+// study prints the control trade every DVFS paper haggles over — peak
+// temperature and cap violations versus delivered throughput and energy —
+// with the leakage-temperature feedback live inside the loop (throttling
+// lowers VDD, which lowers leakage, which cools the die further than the
+// dynamic-power cut alone).
+//
+// Build & run:  ./examples/dvfs_policy_study [fdm|spectral]
+#include <iostream>
+#include <string>
+
+#include "core/api.hpp"
+#include "transient_backend_arg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptherm;
+
+  // Strict selector parsing, shared with thermal_cycling (CI runs the
+  // example once per transient-capable backend): an unknown selector or
+  // trailing arguments fail loudly instead of silently studying the wrong
+  // plant.
+  const auto backend = examples::parse_transient_backend(argc, argv);
+  if (!backend) return examples::kUsageExitStatus;
+  rtm::RtmOptions opts;
+  opts.backend = *backend;
+
+  const auto tech = device::Technology::cmos012();
+  thermal::Die die;
+  die.width = 1e-3;
+  die.height = 1e-3;
+  die.thickness = 350e-6;
+  die.k_si = kSiliconThermalConductivity;
+  die.t_sink = celsius(55.0);
+
+  // 3x3 compute array, 16 W of nominal dynamic power.
+  Rng rng(777);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = 16.0;
+  cfg.gates_per_mm2 = 3e5;
+  const auto fp = floorplan::make_uniform_grid(tech, die, 3, 3, cfg, rng);
+
+  // Workload: a hot task (1.6x activity) migrating across the array every
+  // 4 ms, light background everywhere else.
+  rtm::MigrationPattern migration;
+  migration.dwell = 4e-3;
+  migration.hot = 1.6;
+  migration.cold = 0.35;
+  const std::size_t samples = 200;      // 1 ms per sample -> 200 ms of trace
+  const auto trace = rtm::make_migration_trace(fp.blocks().size(), samples, 1e-3, migration);
+
+  // Five operating points from nominal down to 0.75 VDD / 0.4 f.
+  const auto ladder = rtm::VfLadder::uniform(tech.vdd, 2e9, 5, 0.75, 0.4);
+
+  opts.dt = 1e-4;
+  // The die's dominant thermal time constant is ~0.55 ms (4 t^2 cv / (pi^2
+  // k)); the control period must undercut it or reactive policies are
+  // always a spike behind. 0.2 ms gives ~3 decisions per time constant.
+  opts.steps_per_epoch = 2;
+  opts.temperature_cap = celsius(95.0);
+  opts.spectral.modes_x = 32;
+  opts.spectral.modes_y = 32;
+  opts.fdm.nx = 16;
+  opts.fdm.ny = 16;
+  opts.fdm.nz = 8;
+
+  rtm::NoopPolicy noop;
+  rtm::ThresholdPolicyOptions thr_opts;
+  thr_opts.trigger_margin = 6.0;   // throttle from 6 K below the cap
+  thr_opts.release_margin = 14.0;  // unthrottle only 14 K below it
+  rtm::ThresholdPolicy threshold(thr_opts);
+  rtm::PidPolicyOptions pid_opts;
+  pid_opts.setpoint_margin = 8.0;
+  rtm::PidPolicy pid(pid_opts);
+  rtm::Policy* policies[] = {&noop, &threshold, &pid};
+
+  Table table(std::string("DVFS policy study: migrating hotspot, cap 95 C (") +
+              (opts.backend == core::ThermalBackend::Fdm ? "fdm" : "spectral") + " plant)");
+  table.set_columns({"policy", "peak_C", "over_cap_ms", "throughput_pct", "energy_mJ",
+                     "interventions"});
+  table.set_precision(4);
+
+  for (rtm::Policy* policy : policies) {
+    rtm::Actuator actuator(tech, fp, ladder);
+    const auto r = rtm::run_rtm(tech, fp, trace, *policy, actuator, opts);
+    const auto& m = r.metrics;
+    table.add_row({std::string(policy->name()), to_celsius(m.peak_temperature),
+                   m.time_over_cap * 1e3, m.throughput_fraction * 100.0, m.energy * 1e3,
+                   static_cast<double>(m.interventions)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: 'noop' shows what the workload does to the die unmanaged;\n"
+               "'threshold' trades throughput for a hard stop below the cap;\n"
+               "'pid' holds the die near its setpoint with finer-grained level moves.\n"
+               "Leakage is re-evaluated at each epoch's actual VDD and temperature,\n"
+               "so the throttled runs also spend less static power.\n";
+  return 0;
+}

@@ -11,25 +11,23 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "transient_backend_arg.hpp"
 
 int main(int argc, char** argv) {
   using namespace ptherm;
 
   // Optional transient-backend selector (CI runs the example once per
   // transient-capable backend): fdm is the backward-Euler reference,
-  // spectral the exact exponential-integrator path.
+  // spectral the exact exponential-integrator path. Parsing is strict and
+  // shared with dvfs_policy_study — an unknown selector OR trailing
+  // arguments exit nonzero with a usage message, so a typo in a CI matrix
+  // can never silently study the default backend instead of the requested
+  // one. This example's historical default stays Fdm.
+  const auto backend =
+      examples::parse_transient_backend(argc, argv, core::ThermalBackend::Fdm);
+  if (!backend) return examples::kUsageExitStatus;
   core::TransientCosimOptions opts;
-  if (argc > 1) {
-    const std::string choice = argv[1];
-    if (choice == "fdm") {
-      opts.backend = core::ThermalBackend::Fdm;
-    } else if (choice == "spectral") {
-      opts.backend = core::ThermalBackend::Spectral;
-    } else {
-      std::cerr << "unknown transient backend '" << choice << "' (want fdm or spectral)\n";
-      return 2;
-    }
-  }
+  opts.backend = *backend;
 
   const auto tech = device::Technology::cmos012();
   thermal::Die die;

@@ -1,0 +1,43 @@
+// Shared strict selector parsing for the transient examples. CI runs each
+// example once per transient-capable backend AND asserts the failure modes
+// (unknown selector, trailing arguments), so the contract lives in exactly
+// one place: parse succeeds only for `prog`, `prog fdm`, or `prog spectral`;
+// anything else prints usage and the caller exits with the returned status.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/cosim.hpp"
+
+namespace ptherm::examples {
+
+inline constexpr int kUsageExitStatus = 2;
+
+/// Parses argv into a transient backend choice. Returns the backend
+/// (default Spectral with no argument) or std::nullopt after printing a
+/// usage message — the caller should then `return kUsageExitStatus`.
+inline std::optional<core::ThermalBackend> parse_transient_backend(
+    int argc, char** argv, core::ThermalBackend fallback = core::ThermalBackend::Spectral) {
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0] << " [fdm|spectral]\n"
+              << "  fdm       backward-Euler FDM plant (numerical reference)\n"
+              << "  spectral  exact exponential-integrator plant\n";
+  };
+  if (argc > 2) {
+    usage();
+    return std::nullopt;
+  }
+  if (argc == 2) {
+    const std::string choice = argv[1];
+    if (choice == "fdm") return core::ThermalBackend::Fdm;
+    if (choice == "spectral") return core::ThermalBackend::Spectral;
+    std::cerr << "unknown transient backend '" << choice << "' (want fdm or spectral)\n";
+    usage();
+    return std::nullopt;
+  }
+  return fallback;
+}
+
+}  // namespace ptherm::examples

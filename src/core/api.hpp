@@ -12,6 +12,8 @@
 //   floorplan/ blocks, die, synthetic power maps
 //   scaling/   roadmap behind the Fig. 1 reproduction
 //   core/      the concurrent electro-thermal solver
+//   rtm/       runtime thermal management: traces, DVFS actuation, sensors,
+//              policies, and the closed-loop driver over the transient cosim
 #pragma once
 
 #include "common/constants.hpp"
@@ -35,6 +37,11 @@
 #include "netlist/cells.hpp"
 #include "netlist/netlist.hpp"
 #include "power/dynamic.hpp"
+#include "rtm/actuator.hpp"
+#include "rtm/policy.hpp"
+#include "rtm/sensor.hpp"
+#include "rtm/simulator.hpp"
+#include "rtm/trace.hpp"
 #include "scaling/roadmap.hpp"
 #include "spice/circuit.hpp"
 #include "spice/dc.hpp"

@@ -13,6 +13,8 @@ void validate(const TransientCosimOptions& opts) {
   PTHERM_REQUIRE(opts.dt > 0.0 && opts.t_stop >= opts.dt,
                  "TransientCosimOptions: bad time grid");
   PTHERM_REQUIRE(opts.record_every >= 1, "TransientCosimOptions: record_every must be >= 1");
+  PTHERM_REQUIRE(opts.power_update_every >= 1,
+                 "TransientCosimOptions: power_update_every must be >= 1");
 }
 
 double TransientCosimResult::peak_temperature() const {
@@ -27,9 +29,28 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
                                            const floorplan::Floorplan& fp,
                                            const ActivityProfile& activity,
                                            const TransientCosimOptions& opts) {
+  PTHERM_REQUIRE(static_cast<bool>(activity), "transient cosim: null activity profile");
+  const auto& blocks = fp.blocks();
+  // The original per-step coupling, expressed as the epoch hook: dynamic
+  // power from the activity profile, leakage from each block's temperature
+  // at the epoch boundary. Synchronous call — the references cannot dangle.
+  const PowerUpdateHook hook = [&](long long, double t, std::span<const double> temps,
+                                   std::span<double> p_dyn, std::span<double> p_leak) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      p_dyn[i] = blocks[i].p_dynamic * activity(i, t);
+      p_leak[i] = blocks[i].leakage_power(tech, temps[i], opts.vb);
+    }
+  };
+  return solve_transient_cosim(tech, fp, hook, opts);
+}
+
+TransientCosimResult solve_transient_cosim(const device::Technology& tech,
+                                           const floorplan::Floorplan& fp,
+                                           const PowerUpdateHook& hook,
+                                           const TransientCosimOptions& opts) {
   PTHERM_REQUIRE(!fp.blocks().empty(), "transient cosim: empty floorplan");
   validate(opts);
-  PTHERM_REQUIRE(static_cast<bool>(activity), "transient cosim: null activity profile");
+  PTHERM_REQUIRE(static_cast<bool>(hook), "transient cosim: null power-update hook");
 
   const auto& blocks = fp.blocks();
   const std::size_t n = blocks.size();
@@ -72,40 +93,49 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
     result.dynamic_power.push_back(p_dyn);
   };
 
-  // Initial powers at the sink temperature.
-  {
-    double p_leak = 0.0, p_dyn = 0.0;
+  // Epoch powers: evaluated by the hook at each epoch boundary (from the
+  // temperatures at that instant — semi-implicit coupling; the thermal time
+  // constants are far longer than any epoch a caller would pick, so the
+  // splitting error is negligible — tested) and held for the whole epoch.
+  const int k = opts.power_update_every;
+  std::vector<double> p_dyn(n, 0.0);
+  std::vector<double> p_leak(n, 0.0);
+  double sum_dyn = 0.0;
+  double sum_leak = 0.0;
+  auto update_powers = [&](long long epoch, double t) {
+    hook(epoch, t, temps, p_dyn, p_leak);
+    sum_dyn = 0.0;
+    sum_leak = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      p_dyn += blocks[i].p_dynamic * activity(i, 0.0);
-      p_leak += blocks[i].leakage_power(tech, temps[i], opts.vb);
+      sources[i].power = p_dyn[i] + p_leak[i];
+      sum_dyn += p_dyn[i];
+      sum_leak += p_leak[i];
     }
-    record(0.0, p_leak, p_dyn);
-  }
+  };
+
+  update_powers(0, 0.0);
+  record(0.0, sum_leak, sum_dyn);
 
   for (int s = 0; s < steps; ++s) {
     const bool last = s + 1 == steps;
     // Step boundaries come from the step index, not an accumulating sum, so
     // roundoff cannot drift the grid; the final step lands exactly on
     // t_stop.
-    const double t = s * opts.dt;
     const double h = last ? opts.t_stop - s * opts.dt : opts.dt;
-    // Semi-implicit coupling: powers from the temperatures at the beginning
-    // of the step (the thermal time constants are far longer than any dt a
-    // caller would pick, so the splitting error is negligible — tested).
-    double p_leak = 0.0, p_dyn = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double pd = blocks[i].p_dynamic * activity(i, t);
-      const double pl = blocks[i].leakage_power(tech, temps[i], opts.vb);
-      sources[i].power = pd + pl;
-      p_dyn += pd;
-      p_leak += pl;
-    }
+    if (s > 0 && s % k == 0) update_powers(s / k, s * opts.dt);
     result.total_cg_iterations += backend->step_transient(*state, h, sources);
-    state->surface_rises(centres, rises);
-    for (std::size_t i = 0; i < n; ++i) temps[i] = t_sink + rises[i];
-    if ((s + 1) % opts.record_every == 0 || last) {
-      record(last ? opts.t_stop : (s + 1) * opts.dt, p_leak, p_dyn);
+    // Temperatures are only read back where someone consumes them: at
+    // recorded steps and at epoch boundaries (the next hook call). Interior
+    // steps of an epoch skip the gather entirely — with power_update_every
+    // == 1 (the default) every step qualifies, preserving the original
+    // per-step readback exactly.
+    const bool record_now = (s + 1) % opts.record_every == 0 || last;
+    const bool epoch_boundary = !last && (s + 1) % k == 0;
+    if (record_now || epoch_boundary) {
+      state->surface_rises(centres, rises);
+      for (std::size_t i = 0; i < n; ++i) temps[i] = t_sink + rises[i];
     }
+    if (record_now) record(last ? opts.t_stop : (s + 1) * opts.dt, sum_leak, sum_dyn);
   }
   result.backend_stats = backend->cost_stats();
   return result;

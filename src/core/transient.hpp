@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/cosim.hpp"
@@ -25,6 +26,17 @@ namespace ptherm::core {
 /// Multiplier on each block's nominal dynamic power at time t (seconds).
 /// Index is the block index; return 1.0 for "nominal activity".
 using ActivityProfile = std::function<double(std::size_t block, double t)>;
+
+/// Per-epoch power update: invoked at the start of control epoch `epoch`
+/// (time `t`, block temperatures `temps` at that instant) to fill the
+/// per-block dynamic and leakage powers that are then HELD CONSTANT for the
+/// next `power_update_every` steps. This is the seam runtime-thermal-
+/// management drivers (rtm/simulator.hpp) plug into: sense -> decide ->
+/// actuate happens inside the hook, so the control loop rides the cosim's
+/// own time integration instead of re-entering it from outside.
+using PowerUpdateHook =
+    std::function<void(long long epoch, double t, std::span<const double> temps,
+                       std::span<double> p_dynamic, std::span<double> p_leakage)>;
 
 struct TransientCosimOptions {
   /// Thermal backend for the time integration; must support transients
@@ -37,11 +49,20 @@ struct TransientCosimOptions {
   double t_stop = 20e-3;     ///< end time [s]
   double vb = 0.0;           ///< substrate bias [V]
   int record_every = 1;      ///< keep every k-th step in the result
+  /// Steps per power-update epoch: block powers are re-evaluated every
+  /// `power_update_every` steps (from the activity profile and the
+  /// instantaneous temperatures, or from a PowerUpdateHook) and held
+  /// constant in between. 1 — the default, and the original semantics —
+  /// re-couples power and temperature every step. Longer epochs also skip
+  /// the per-step temperature readback on interior steps: on the spectral
+  /// backend an interior step collapses to the pure mode-decay update,
+  /// which is what makes million-step DVFS traces affordable.
+  int power_update_every = 1;
 };
 
 /// Throws ptherm::PreconditionError on an unusable time grid
-/// (dt <= 0, t_stop < dt, or record_every < 1). A single-step run
-/// (t_stop == dt) is legitimate.
+/// (dt <= 0, t_stop < dt, record_every < 1, or power_update_every < 1).
+/// A single-step run (t_stop == dt) is legitimate.
 void validate(const TransientCosimOptions& opts);
 
 struct TransientCosimResult {
@@ -65,9 +86,22 @@ struct TransientCosimResult {
 };
 
 /// Runs the transient co-simulation from a uniform sink-temperature start.
+/// Dynamic power follows `activity`; leakage is re-evaluated from each
+/// block's instantaneous temperature at every power-update epoch (every
+/// step by default).
 TransientCosimResult solve_transient_cosim(const device::Technology& tech,
                                            const floorplan::Floorplan& fp,
                                            const ActivityProfile& activity,
+                                           const TransientCosimOptions& opts = {});
+
+/// Hook-driven variant: the caller owns the power model. `hook` is invoked
+/// once per power-update epoch (including epoch 0 at t = 0 with every block
+/// at the sink temperature) and the powers it writes are held for the whole
+/// epoch. The activity-profile overload is exactly this with a hook that
+/// evaluates `activity` and the floorplan's leakage model.
+TransientCosimResult solve_transient_cosim(const device::Technology& tech,
+                                           const floorplan::Floorplan& fp,
+                                           const PowerUpdateHook& hook,
                                            const TransientCosimOptions& opts = {});
 
 }  // namespace ptherm::core

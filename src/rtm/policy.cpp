@@ -1,0 +1,101 @@
+#include "rtm/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptherm::rtm {
+
+void Policy::reset(const PolicyContext& ctx, std::size_t block_count) {
+  PTHERM_REQUIRE(block_count > 0, "Policy::reset: need at least one block");
+  PTHERM_REQUIRE(ctx.level_count >= 1, "Policy::reset: need at least one level");
+  PTHERM_REQUIRE(ctx.epoch_duration > 0.0, "Policy::reset: epoch_duration must be positive");
+  PTHERM_REQUIRE(ctx.temperature_cap > ctx.t_sink,
+                 "Policy::reset: temperature cap must exceed the sink temperature");
+  PTHERM_REQUIRE(ctx.level_speed.size() == static_cast<std::size_t>(ctx.level_count),
+                 "Policy::reset: level_speed must have one entry per level");
+  ctx_ = ctx;
+}
+
+// ------------------------------------------------------------- threshold ---
+
+ThresholdPolicy::ThresholdPolicy(ThresholdPolicyOptions opts) : opts_(opts) {
+  PTHERM_REQUIRE(opts_.trigger_margin >= 0.0,
+                 "ThresholdPolicy: trigger_margin must be >= 0");
+  PTHERM_REQUIRE(opts_.release_margin > opts_.trigger_margin,
+                 "ThresholdPolicy: release_margin must exceed trigger_margin (hysteresis)");
+  PTHERM_REQUIRE(opts_.step >= 1, "ThresholdPolicy: step must be >= 1");
+}
+
+void ThresholdPolicy::control(const PolicyInput& in, std::span<int> levels) {
+  const double trigger = context().temperature_cap - opts_.trigger_margin;
+  const double release = context().temperature_cap - opts_.release_margin;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (in.temps[i] >= trigger) {
+      levels[i] += opts_.step;  // slower
+    } else if (in.temps[i] <= release) {
+      levels[i] -= opts_.step;  // faster
+    }
+    // Between the two margins: hold — that's the hysteresis band.
+  }
+}
+
+// ------------------------------------------------------------------- pid ---
+
+PidPolicy::PidPolicy(PidPolicyOptions opts) : opts_(opts) {
+  PTHERM_REQUIRE(opts_.setpoint_margin >= 0.0, "PidPolicy: setpoint_margin must be >= 0");
+  PTHERM_REQUIRE(opts_.kp >= 0.0 && opts_.ki >= 0.0 && opts_.kd >= 0.0,
+                 "PidPolicy: gains must be >= 0");
+}
+
+void PidPolicy::reset(const PolicyContext& ctx, std::size_t block_count) {
+  Policy::reset(ctx, block_count);
+  integral_.assign(block_count, 0.0);
+  prev_error_.assign(block_count, 0.0);
+  primed_ = false;
+}
+
+void PidPolicy::control(const PolicyInput& in, std::span<int> levels) {
+  PTHERM_REQUIRE(integral_.size() == levels.size(),
+                 "PidPolicy::control: reset was not called for this block count");
+  const double setpoint = context().temperature_cap - opts_.setpoint_margin;
+  const double dt = context().epoch_duration;
+  const auto& speed = context().level_speed;
+  const double u_min = speed.back();  // slowest level's frequency fraction
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    // Error in kelvin: positive while the block is cooler than the setpoint
+    // (headroom -> run fast), negative when above it (throttle).
+    const double e = setpoint - in.temps[i];
+    const double de = primed_ ? (e - prev_error_[i]) / dt : 0.0;
+    prev_error_[i] = e;
+    // Command is a frequency fraction with a full-speed bias: u = 1 while
+    // there is headroom, dipping below 1 as the error goes negative.
+    // Conditional integration (anti-windup): only integrate when the
+    // unsaturated command is inside the actuator's range or the error pulls
+    // it back toward the range.
+    const double u_unsat = 1.0 + opts_.kp * e + opts_.ki * (integral_[i] + e * dt) +
+                           opts_.kd * de;
+    if ((u_unsat <= 1.0 && u_unsat >= u_min) || (u_unsat > 1.0 && e < 0.0) ||
+        (u_unsat < u_min && e > 0.0)) {
+      integral_[i] += e * dt;
+    }
+    const double u = std::clamp(1.0 + opts_.kp * e + opts_.ki * integral_[i] + opts_.kd * de,
+                                u_min, 1.0);
+    // Snap to the ladder level whose frequency fraction is nearest the
+    // command; ties go to the faster level (strict improvement scan).
+    int best = 0;
+    double best_gap = std::abs(speed[0] - u);
+    for (int l = 1; l < context().level_count; ++l) {
+      const double gap = std::abs(speed[static_cast<std::size_t>(l)] - u);
+      if (gap < best_gap) {
+        best = l;
+        best_gap = gap;
+      }
+    }
+    levels[i] = best;
+  }
+  primed_ = true;
+}
+
+}  // namespace ptherm::rtm

@@ -1,0 +1,121 @@
+// Control policies: sensed temperatures in, per-block V/f levels out, once
+// per control epoch. The Policy interface is the plug-in point for custom
+// governors; three reference implementations ship with the library:
+//
+//   NoopPolicy       leaves every block at level 0 — the uncontrolled
+//                    baseline a study compares against.
+//   ThresholdPolicy  reactive throttling with hysteresis: step a block
+//                    slower when its sensed temperature crosses the trigger,
+//                    step it faster again only once it cools past the
+//                    release point (the gap prevents level chatter).
+//   PidPolicy        a PID governor per block: regulates to a setpoint
+//                    below the cap by mapping the control output to a
+//                    continuous frequency fraction, then snapping to the
+//                    nearest ladder level.
+//
+// Policies see SENSED temperatures (rtm/sensor.hpp); the plant integrates
+// the true ones. Keep policies deterministic: the RTM driver guarantees
+// bitwise-reproducible runs only if control() is a pure function of its
+// inputs and the policy's own (reset) state.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ptherm::rtm {
+
+/// Fixed loop configuration handed to Policy::reset before a run.
+struct PolicyContext {
+  double temperature_cap = 0.0;   ///< the cap the study enforces [K]
+  double t_sink = 0.0;            ///< heat-sink (ambient) temperature [K]
+  double epoch_duration = 0.0;    ///< control period [s]
+  int level_count = 1;            ///< ladder size; level 0 = fastest
+  /// f_level / f_0 per level, descending from 1.0 (VfLadder::speed_fractions).
+  std::vector<double> level_speed;
+};
+
+/// Per-epoch controller inputs.
+struct PolicyInput {
+  long long epoch = 0;               ///< control epoch index (0-based)
+  double t = 0.0;                    ///< epoch start time [s]
+  std::span<const double> temps;     ///< sensed block temperatures [K]
+  std::span<const double> activity;  ///< requested per-block activity
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Called once before a run; stores the context and clears controller
+  /// state. Overrides must call the base.
+  virtual void reset(const PolicyContext& ctx, std::size_t block_count);
+
+  /// Writes the level each block runs at for the coming epoch into `levels`
+  /// (current levels on entry, one per block). Out-of-range choices are
+  /// clamped into the ladder by the driver.
+  virtual void control(const PolicyInput& in, std::span<int> levels) = 0;
+
+ protected:
+  [[nodiscard]] const PolicyContext& context() const noexcept { return ctx_; }
+
+ private:
+  PolicyContext ctx_;
+};
+
+/// Never intervenes: every block stays at the level it already holds.
+class NoopPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "noop"; }
+  void control(const PolicyInput&, std::span<int>) override {}
+};
+
+struct ThresholdPolicyOptions {
+  /// Throttle a block one `step` slower when its sensed temperature reaches
+  /// cap - trigger_margin [K]. A positive margin reacts BEFORE the cap so
+  /// one epoch of thermal lag does not overshoot it.
+  double trigger_margin = 5.0;
+  /// Unthrottle one `step` faster only below cap - release_margin [K]; must
+  /// exceed trigger_margin (the hysteresis gap).
+  double release_margin = 12.0;
+  int step = 1;  ///< levels moved per intervention
+};
+
+class ThresholdPolicy final : public Policy {
+ public:
+  explicit ThresholdPolicy(ThresholdPolicyOptions opts = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "threshold"; }
+  void control(const PolicyInput& in, std::span<int> levels) override;
+
+ private:
+  ThresholdPolicyOptions opts_;
+};
+
+struct PidPolicyOptions {
+  /// Regulate each block to cap - setpoint_margin [K].
+  double setpoint_margin = 5.0;
+  double kp = 0.08;  ///< proportional gain [1/K]
+  double ki = 40.0;  ///< integral gain [1/(K s)]
+  double kd = 0.0;   ///< derivative gain [s/K]
+};
+
+class PidPolicy final : public Policy {
+ public:
+  explicit PidPolicy(PidPolicyOptions opts = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "pid"; }
+  void reset(const PolicyContext& ctx, std::size_t block_count) override;
+  void control(const PolicyInput& in, std::span<int> levels) override;
+
+ private:
+  PidPolicyOptions opts_;
+  std::vector<double> integral_;
+  std::vector<double> prev_error_;
+  bool primed_ = false;  ///< prev_error_ holds a real sample
+};
+
+}  // namespace ptherm::rtm

@@ -1,0 +1,59 @@
+#include "rtm/sensor.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ptherm::rtm {
+
+SensorBank::SensorBank(std::size_t block_count, SensorOptions opts)
+    : block_count_(block_count), opts_(opts), rng_(opts.seed) {
+  PTHERM_REQUIRE(block_count > 0, "SensorBank: need at least one block");
+  PTHERM_REQUIRE(opts_.quantization >= 0.0, "SensorBank: quantization must be >= 0");
+  PTHERM_REQUIRE(opts_.noise_sigma >= 0.0, "SensorBank: noise_sigma must be >= 0");
+  PTHERM_REQUIRE(opts_.latency >= 0, "SensorBank: latency must be >= 0");
+  history_.assign(block_count_ * static_cast<std::size_t>(opts_.latency + 1), 0.0);
+  sensed_.assign(block_count_, 0.0);
+}
+
+void SensorBank::reset() {
+  rng_ = Rng(opts_.seed);
+  filled_ = 0;
+  head_ = 0;
+}
+
+std::span<const double> SensorBank::sample(std::span<const double> temps) {
+  PTHERM_REQUIRE(temps.size() == block_count_, "SensorBank::sample: block count mismatch");
+  const std::size_t rows = static_cast<std::size_t>(opts_.latency) + 1;
+  // Ingest this epoch's true temperatures into the ring.
+  double* row = history_.data() + head_ * block_count_;
+  for (std::size_t i = 0; i < block_count_; ++i) row[i] = temps[i];
+  head_ = (head_ + 1) % rows;
+  if (filled_ < rows) ++filled_;
+  // The reading is the oldest available row: exactly `latency` epochs ago
+  // once the ring is full, the first ingested row before that.
+  const std::size_t age = std::min(filled_, rows);
+  const std::size_t read = (head_ + rows - age) % rows;
+  const double* delayed = history_.data() + read * block_count_;
+  for (std::size_t i = 0; i < block_count_; ++i) {
+    double value = delayed[i];
+    if (opts_.noise_sigma > 0.0) {
+      // Box-Muller with a fixed two-uniforms-per-sample draw: thriftier
+      // schemes that cache the spare variate make the stream depend on call
+      // history, which would break per-run determinism guarantees.
+      const double u1 = 1.0 - rng_.uniform();  // (0, 1]: log stays finite
+      const double u2 = rng_.uniform();
+      value += opts_.noise_sigma * std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * std::numbers::pi * u2);
+    }
+    if (opts_.quantization > 0.0) {
+      value = opts_.t_anchor +
+              std::round((value - opts_.t_anchor) / opts_.quantization) * opts_.quantization;
+    }
+    sensed_[i] = value;
+  }
+  return sensed_;
+}
+
+}  // namespace ptherm::rtm

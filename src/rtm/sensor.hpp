@@ -1,0 +1,56 @@
+// Thermal sensors: what the policy actually sees. Real on-die sensors lag
+// the silicon, add noise, and quantize through an ADC, so a policy tuned on
+// perfect temperatures can oscillate or overshoot on hardware. The
+// SensorBank models all three imperfections deterministically (seeded
+// splitmix64 noise) so closed-loop studies stay bitwise reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ptherm::rtm {
+
+struct SensorOptions {
+  /// ADC step [K]; readings snap to t_anchor + n * quantization (0 = ideal).
+  double quantization = 0.0;
+  /// Gaussian noise sigma [K] added before quantization (0 = noiseless).
+  double noise_sigma = 0.0;
+  /// Readings reflect the temperatures `latency` sample() calls ago (epochs,
+  /// in the RTM loop). Until enough history exists the oldest sample holds.
+  int latency = 0;
+  /// Noise stream seed; same seed => same readings.
+  std::uint64_t seed = 0x5eed5eed5eedull;
+  /// Quantization anchor [K] (the sensor's calibration point — typically the
+  /// sink temperature).
+  double t_anchor = 0.0;
+};
+
+/// One sensor per block. sample() ingests the true temperatures for this
+/// control epoch and returns the sensed view; the returned span stays valid
+/// until the next sample() call.
+class SensorBank {
+ public:
+  explicit SensorBank(std::size_t block_count, SensorOptions opts = {});
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return block_count_; }
+
+  std::span<const double> sample(std::span<const double> temps);
+
+  /// Back to the initial state (history and noise stream).
+  void reset();
+
+ private:
+  std::size_t block_count_ = 0;
+  SensorOptions opts_;
+  Rng rng_;
+  std::vector<double> history_;  ///< ring buffer, (latency + 1) rows
+  std::size_t filled_ = 0;       ///< rows ingested so far (saturates)
+  std::size_t head_ = 0;         ///< next row to overwrite
+  std::vector<double> sensed_;
+};
+
+}  // namespace ptherm::rtm

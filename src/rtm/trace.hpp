@@ -1,0 +1,119 @@
+// Workload traces for runtime thermal management: per-block activity
+// timelines sampled on a uniform grid. A trace is the demand side of the
+// control loop — what the workload *asks* each block to do — while the
+// actuator (rtm/actuator.hpp) decides how much of that demand is delivered
+// at the chosen V/f operating point.
+//
+// Synthetic generators cover the structural patterns DVFS studies care
+// about (periodic bursts, bounded random walks, phase-shifted core
+// migration), and a small text format makes traces portable between runs
+// and tools with a bitwise read/write round trip.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ptherm::rtm {
+
+/// Per-block activity timeline on a uniform sample grid. Activity is the
+/// dimensionless multiplier on a block's nominal dynamic power (1.0 =
+/// nominal, 0 = idle); lookups between samples are sample-and-hold, and
+/// lookups beyond either end clamp to the first/last sample.
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+  /// Empty trace over `block_count` blocks with `sample_dt` seconds between
+  /// samples. Throws ptherm::PreconditionError on a degenerate shape.
+  WorkloadTrace(std::size_t block_count, double sample_dt);
+
+  /// Appends one sample (one activity per block, all >= 0).
+  void append(std::span<const double> activities);
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return block_count_; }
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return block_count_ == 0 ? 0 : samples_.size() / block_count_;
+  }
+  [[nodiscard]] double sample_dt() const noexcept { return sample_dt_; }
+  /// Total covered time: sample_count * sample_dt (the last sample holds for
+  /// one full interval, matching the sample-and-hold lookup).
+  [[nodiscard]] double duration() const noexcept {
+    return static_cast<double>(sample_count()) * sample_dt_;
+  }
+
+  /// Activity of `block` in sample `sample` (bounds-checked).
+  [[nodiscard]] double activity(std::size_t sample, std::size_t block) const;
+  /// Sample-and-hold activity of `block` at time `t` [s], clamped to the
+  /// trace's span. Throws if the trace is empty.
+  [[nodiscard]] double activity_at(std::size_t block, double t) const;
+
+  [[nodiscard]] bool operator==(const WorkloadTrace&) const = default;
+
+ private:
+  std::size_t block_count_ = 0;
+  double sample_dt_ = 0.0;
+  std::vector<double> samples_;  ///< row-major [sample][block]
+};
+
+// ----------------------------------------------------------- generators ---
+
+/// Periodic on/off bursts; `phase_step` shifts each block's burst window by
+/// that fraction of a period relative to the previous block, so phase_step=0
+/// bursts every block together and phase_step=1/blocks staggers them evenly.
+struct BurstPattern {
+  double period = 8e-3;   ///< burst period [s]
+  double duty = 0.5;      ///< fraction of the period spent at `high`
+  double high = 1.5;      ///< activity inside the burst
+  double low = 0.05;      ///< activity between bursts
+  double phase_step = 0.0;
+};
+[[nodiscard]] WorkloadTrace make_burst_trace(std::size_t blocks, std::size_t samples,
+                                             double sample_dt, const BurstPattern& pattern);
+
+/// Independent bounded random walks, one per block: activity moves by a
+/// uniform step in [-step, step] each sample and reflects off the bounds.
+struct RandomWalkPattern {
+  double start = 0.6;
+  double step = 0.15;
+  double floor = 0.0;
+  double ceil = 1.5;
+};
+[[nodiscard]] WorkloadTrace make_random_walk_trace(std::size_t blocks, std::size_t samples,
+                                                   double sample_dt,
+                                                   const RandomWalkPattern& pattern, Rng& rng);
+
+/// Core migration: one "hot" task rotates across the blocks, dwelling
+/// `dwell` seconds on each (block k is hot during [k*dwell, (k+1)*dwell)
+/// modulo blocks*dwell); everyone else idles at `cold`.
+struct MigrationPattern {
+  double dwell = 4e-3;
+  double hot = 1.6;
+  double cold = 0.1;
+};
+[[nodiscard]] WorkloadTrace make_migration_trace(std::size_t blocks, std::size_t samples,
+                                                 double sample_dt,
+                                                 const MigrationPattern& pattern);
+
+// ------------------------------------------------------------- text I/O ---
+//
+// Format (whitespace separated, '#' starts a comment line):
+//   ptherm-trace v1
+//   blocks <n>
+//   sample_dt <seconds>
+//   samples <count>
+//   <activity_block0> ... <activity_block{n-1}>     (one line per sample)
+// Values are written with max_digits10 precision so read(write(t)) == t
+// bitwise. Malformed input throws ptherm::IoError naming what went wrong.
+
+void write_trace(std::ostream& os, const WorkloadTrace& trace);
+[[nodiscard]] WorkloadTrace read_trace(std::istream& is);
+
+/// File-path conveniences; IoError if the file cannot be opened.
+void write_trace_file(const std::string& path, const WorkloadTrace& trace);
+[[nodiscard]] WorkloadTrace read_trace_file(const std::string& path);
+
+}  // namespace ptherm::rtm

@@ -72,7 +72,11 @@ numerics::Matrix AnalyticImagesBackend::build_influence(
 namespace {
 
 /// FDM transient field: the backward-Euler state plus the solver handle that
-/// interprets it.
+/// interprets it. Batched readback caches the per-point bilinear stencils
+/// (top-layer cell indices + weights) keyed by the query points: transient
+/// drivers ask for the same block centres every epoch, so the bounds
+/// clamping and centre arithmetic of FdmThermalSolver::surface_rise is paid
+/// once per point set, not once per point per step.
 class FdmTransientState final : public SolverBackend::TransientState {
  public:
   explicit FdmTransientState(const FdmThermalSolver& solver) : solver_(&solver) {
@@ -84,12 +88,54 @@ class FdmTransientState final : public SolverBackend::TransientState {
     return solver_->surface_rise(field_, x, y);
   }
 
+  void surface_rises(std::span<const SurfaceSample> points,
+                     std::span<double> out) const override {
+    PTHERM_REQUIRE(out.size() == points.size(),
+                   "TransientState::surface_rises: output size mismatch");
+    if (!stencil_matches(points)) rebuild_stencil(points);
+    const double* rise = field_.rise.data();
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const std::size_t* idx = stencil_index_.data() + 4 * p;
+      const double* w = stencil_weight_.data() + 4 * p;
+      // Same term order and grouping as surface_rise, so the cached path is
+      // bitwise-identical to the per-point one (tested).
+      out[p] = w[0] * rise[idx[0]] + w[1] * rise[idx[1]] + w[2] * rise[idx[2]] +
+               w[3] * rise[idx[3]];
+    }
+  }
+
   [[nodiscard]] std::vector<double>& rise() noexcept { return field_.rise; }
   [[nodiscard]] const FdmThermalSolver* solver() const noexcept { return solver_; }
 
  private:
+  [[nodiscard]] bool stencil_matches(std::span<const SurfaceSample> points) const {
+    if (stencil_points_.size() != points.size()) return false;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (stencil_points_[p].x != points[p].x || stencil_points_[p].y != points[p].y) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void rebuild_stencil(std::span<const SurfaceSample> points) const {
+    stencil_index_.resize(4 * points.size());
+    stencil_weight_.resize(4 * points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      // The solver owns the clamp/centre arithmetic (surface_stencil is the
+      // one implementation); this cache merely hoists it out of the
+      // per-step loop.
+      solver_->surface_stencil(points[p].x, points[p].y, stencil_index_.data() + 4 * p,
+                               stencil_weight_.data() + 4 * p);
+    }
+    stencil_points_.assign(points.begin(), points.end());
+  }
+
   const FdmThermalSolver* solver_;
   FdmThermalSolver::Solution field_;
+  mutable std::vector<SurfaceSample> stencil_points_;
+  mutable std::vector<std::size_t> stencil_index_;
+  mutable std::vector<double> stencil_weight_;
 };
 
 }  // namespace
@@ -135,6 +181,12 @@ int FdmBackend::step_transient(TransientState& state, double dt,
   stats_.cg_iterations += iterations;
   ++stats_.transient_steps;
   return iterations;
+}
+
+BackendCostStats FdmBackend::cost_stats() const {
+  BackendCostStats stats = stats_;
+  stats.transient_power_updates = solver_.transient_power_updates();
+  return stats;
 }
 
 // ----------------------------------------------------------------- spectral
@@ -260,6 +312,7 @@ numerics::Matrix SpectralBackend::build_influence(
 BackendCostStats SpectralBackend::cost_stats() const {
   BackendCostStats stats = stats_;
   stats.fft_calls = solver_.fft_calls();
+  stats.transient_power_updates = solver_.transient_power_updates();
   return stats;
 }
 

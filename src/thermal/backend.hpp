@@ -45,6 +45,11 @@ struct BackendCostStats {
   int modes = 0;                ///< cosine modes carried (spectral)
   long long fft_calls = 0;      ///< 1-D FFT invocations (spectral)
   long long transient_steps = 0;  ///< step_transient calls served
+  /// Transient steps that re-ingested CHANGED source powers (spectral: flux
+  /// re-projection; FDM: source-term RHS rebuild). Epoch-driven drivers
+  /// hold powers between control decisions, so this counts epochs — the gap
+  /// to transient_steps is what the epoch caches saved.
+  long long transient_power_updates = 0;
 };
 
 class SolverBackend {
@@ -140,7 +145,7 @@ class FdmBackend final : public SolverBackend {
   [[nodiscard]] std::unique_ptr<TransientState> make_transient_state() const override;
   int step_transient(TransientState& state, double dt,
                      const std::vector<HeatSource>& sources) const override;
-  [[nodiscard]] BackendCostStats cost_stats() const override { return stats_; }
+  [[nodiscard]] BackendCostStats cost_stats() const override;
 
   [[nodiscard]] const FdmThermalSolver& solver() const noexcept { return solver_; }
 

@@ -67,6 +67,13 @@ class FdmThermalSolver {
   /// Surface (top-layer) rise at (x, y), bilinear between cell centres.
   [[nodiscard]] double surface_rise(const Solution& sol, double x, double y) const;
 
+  /// The bilinear interpolation stencil surface_rise combines at (x, y):
+  /// four top-layer cell indices and their weights, rim-clamped. The ONE
+  /// implementation of the clamp/centre arithmetic — batched readback
+  /// caches (thermal/backend.cpp) call this too, so the cached path is
+  /// bitwise-identical to surface_rise by construction, not by discipline.
+  void surface_stencil(double x, double y, std::size_t idx[4], double w[4]) const noexcept;
+
   /// Absolute surface temperature.
   [[nodiscard]] double surface_temperature(const Solution& sol, double x, double y) const {
     return die_.t_sink + surface_rise(sol, x, y);
@@ -78,6 +85,12 @@ class FdmThermalSolver {
   /// solve fails, so drivers never integrate a garbage field.
   int step_transient(std::vector<double>& rise, double dt,
                      const std::vector<HeatSource>& sources) const;
+
+  /// Transient steps that had to rebuild the source-term right-hand side
+  /// because the sources changed since the previous step (cost counter):
+  /// epoch-driven drivers hold their powers for many steps, so this counts
+  /// epochs, not steps.
+  [[nodiscard]] long long transient_power_updates() const noexcept { return power_updates_; }
 
   [[nodiscard]] int nx() const noexcept { return opts_.nx; }
   [[nodiscard]] int ny() const noexcept { return opts_.ny; }
@@ -120,6 +133,14 @@ class FdmThermalSolver {
     bool valid = false;
   };
   mutable TransientOperator transient_cache_;
+  // Source-term RHS cache for step_transient: surface_power(sources) depends
+  // only on the sources, which epoch-driven transient drivers hold constant
+  // for many steps — rebuilding it per step would scan every source footprint
+  // 10x-100x more often than the powers actually change. Same thread-safety
+  // caveat as transient_cache_.
+  mutable std::vector<HeatSource> transient_rhs_key_;
+  mutable std::vector<double> transient_rhs_;
+  mutable long long power_updates_ = 0;
 };
 
 }  // namespace ptherm::thermal

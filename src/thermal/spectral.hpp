@@ -103,6 +103,11 @@ class SpectralThermalSolver {
     std::vector<double> proj_x;    ///< modes_x per source
     std::vector<double> proj_y;    ///< modes_y per source
     std::vector<double> proj_key;  ///< cx, cy, w, l per cached source
+    /// Last-ingested power per source: when neither powers nor geometry
+    /// moved since the previous step, the flux modes are still valid and
+    /// the whole projection pass is skipped — interior steps of a power-
+    /// update epoch collapse to the pure mode-decay update.
+    std::vector<double> power_key;
 
     // Decay cache: e^{-alpha g^2 h} and e^{-alpha gamma_p^2 h}, keyed by h
     // (the exact decay is their product — the dt-cache trick, in separable
@@ -142,11 +147,16 @@ class SpectralThermalSolver {
   [[nodiscard]] int mode_count() const noexcept { return opts_.modes_x * opts_.modes_y; }
   /// 1-D FFT invocations performed by surface_map so far (cost counter).
   [[nodiscard]] long long fft_calls() const noexcept { return fft_calls_; }
+  /// Transient steps that had to re-project changed source powers into the
+  /// flux modes (cost counter): with an epoch-driven driver this counts
+  /// epochs, not steps — the gap between the two is the cache's win.
+  [[nodiscard]] long long transient_power_updates() const noexcept { return power_updates_; }
   [[nodiscard]] const Die& die() const noexcept { return die_; }
 
  private:
-  /// Rebuilds the per-source projection cache entries whose geometry moved.
-  void refresh_projections(TransientSolution& state,
+  /// Rebuilds the per-source projection cache entries whose geometry moved;
+  /// returns whether any entry was rebuilt.
+  bool refresh_projections(TransientSolution& state,
                            const std::vector<HeatSource>& sources) const;
 
   Die die_;
@@ -160,6 +170,7 @@ class SpectralThermalSolver {
   /// transfer_ minus the carried z-modes' gains: the quasi-static tail.
   std::vector<double> tail_;
   mutable long long fft_calls_ = 0;
+  mutable long long power_updates_ = 0;
 };
 
 }  // namespace ptherm::thermal

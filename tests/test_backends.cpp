@@ -169,6 +169,41 @@ TEST_P(BackendMatrix, BatchedTransientReadbackMatchesPointQueries) {
   EXPECT_NE(batched_moved[0], batched[0]);
 }
 
+TEST(BackendAgreement, FdmStencilReadbackIsBitwiseIdenticalToPointQueries) {
+  // The FDM transient state's batched readback hoists the per-point
+  // bounds/centre arithmetic into cached bilinear stencils. The cached path
+  // keeps the exact term order of FdmThermalSolver::surface_rise, so it is
+  // not merely close — it is the same doubles, including at the clamped rim
+  // and corners.
+  const auto fp = small_plan();
+  const auto backend = make_thermal_backend(fp.die(), backend_opts(ThermalBackend::Fdm));
+  const auto state = backend->make_transient_state();
+  auto sources = fp.heat_sources(tech());
+  backend->step_transient(*state, 5e-4, sources);
+  const double w = fp.die().width;
+  const double h = fp.die().height;
+  const std::vector<thermal::SurfaceSample> points = {
+      {0.0, 0.0},          // corner: both axes clamped
+      {w, h},              // far corner
+      {w * 0.5, 0.0},      // edge
+      {w * 0.013, h * 0.87},
+      {w * 0.5, h * 0.5},
+      {w * 0.25, h * 0.75},
+  };
+  std::vector<double> batched(points.size());
+  state->surface_rises(points, batched);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batched[i], state->surface_rise(points[i].x, points[i].y)) << "point " << i;
+  }
+  // Stepping further reuses the cached stencils on the fresh field.
+  backend->step_transient(*state, 5e-4, sources);
+  state->surface_rises(points, batched);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batched[i], state->surface_rise(points[i].x, points[i].y))
+        << "point " << i << " after second step";
+  }
+}
+
 TEST(BackendAgreement, TransientStateIsRejectedByAForeignBackend) {
   // A state minted by one backend must not be silently integrated by
   // another — the field layouts are incompatible.

@@ -250,5 +250,122 @@ TEST(TransientCosim, SpectralTrajectoryTracksTheFdmTrajectory) {
               0.10 * f.leakage_power.back());
 }
 
+// ------------------------------------------------ power-update epoch hook
+
+TEST(TransientCosimHook, UnitEpochHookMatchesTheActivityPathBitwise) {
+  // The activity-profile overload is specified as "exactly the hook overload
+  // with the default power model": with power_update_every == 1 the two must
+  // produce bit-identical trajectories on both transient-capable backends.
+  const auto fp = small_plan();
+  const auto& blocks = fp.blocks();
+  const auto technology = tech();
+  for (ThermalBackend backend : {ThermalBackend::Fdm, ThermalBackend::Spectral}) {
+    auto opts = fast_opts();
+    opts.backend = backend;
+    opts.t_stop = 4e-3;
+    const auto via_activity = solve_transient_cosim(technology, fp, constant_activity(), opts);
+    const PowerUpdateHook hook = [&](long long, double, std::span<const double> temps,
+                                     std::span<double> p_dyn, std::span<double> p_leak) {
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        p_dyn[i] = blocks[i].p_dynamic;  // constant activity 1.0
+        p_leak[i] = blocks[i].leakage_power(technology, temps[i], opts.vb);
+      }
+    };
+    const auto via_hook = solve_transient_cosim(technology, fp, hook, opts);
+    ASSERT_EQ(via_hook.times.size(), via_activity.times.size());
+    for (std::size_t k = 0; k < via_hook.times.size(); ++k) {
+      EXPECT_EQ(via_hook.times[k], via_activity.times[k]);
+      EXPECT_EQ(via_hook.leakage_power[k], via_activity.leakage_power[k]);
+      EXPECT_EQ(via_hook.dynamic_power[k], via_activity.dynamic_power[k]);
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        EXPECT_EQ(via_hook.block_temps[k][i], via_activity.block_temps[k][i])
+            << "backend " << static_cast<int>(backend) << " t " << via_hook.times[k];
+      }
+    }
+  }
+}
+
+TEST(TransientCosimHook, EpochHeldPowersMatchPerStepWhenPowersAreConstant) {
+  // With genuinely constant powers (no leakage content, constant activity)
+  // holding them over 4-step epochs must not change the integration at all:
+  // the same sources drive every step either way. The interior-step readback
+  // skip and the backends' changed-power caches must both be invisible.
+  Rng rng(12);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = 3.0;
+  cfg.gates_per_mm2 = 0.0;  // leakage-free: powers are truly constant
+  const auto fp = floorplan::make_uniform_grid(tech(), die_1mm(), 2, 2, cfg, rng);
+  for (ThermalBackend backend : {ThermalBackend::Fdm, ThermalBackend::Spectral}) {
+    auto opts = fast_opts();
+    opts.backend = backend;
+    opts.t_stop = 4.8e-3;    // 24 steps
+    opts.record_every = 4;   // records land on epoch boundaries of both runs
+    const auto per_step = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+    opts.power_update_every = 4;
+    const auto per_epoch = solve_transient_cosim(tech(), fp, constant_activity(), opts);
+    ASSERT_EQ(per_epoch.times.size(), per_step.times.size());
+    for (std::size_t k = 0; k < per_epoch.times.size(); ++k) {
+      for (std::size_t i = 0; i < fp.blocks().size(); ++i) {
+        EXPECT_EQ(per_epoch.block_temps[k][i], per_step.block_temps[k][i])
+            << "backend " << static_cast<int>(backend) << " t " << per_epoch.times[k];
+      }
+    }
+    // The epoch run ingested the unchanged powers once; the per-step run's
+    // backend saw the same thing (the caches key on values, not call
+    // cadence) — both served every step.
+    EXPECT_EQ(per_epoch.backend_stats.transient_steps, 24);
+    EXPECT_EQ(per_epoch.backend_stats.transient_power_updates, 1);
+    EXPECT_EQ(per_step.backend_stats.transient_power_updates, 1);
+  }
+}
+
+TEST(TransientCosimHook, HookSeesEpochBoundariesAndItsPowersAreHeld) {
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.backend = ThermalBackend::Spectral;
+  opts.dt = 1e-4;
+  opts.t_stop = 3e-3;          // 30 steps
+  opts.power_update_every = 10;  // 3 epochs
+  opts.record_every = 10;
+  std::vector<long long> epochs_seen;
+  std::vector<double> times_seen;
+  double first_temp = -1.0;
+  const PowerUpdateHook hook = [&](long long epoch, double t, std::span<const double> temps,
+                                   std::span<double> p_dyn, std::span<double> p_leak) {
+    epochs_seen.push_back(epoch);
+    times_seen.push_back(t);
+    if (first_temp < 0.0) first_temp = temps[0];
+    for (std::size_t i = 0; i < p_dyn.size(); ++i) {
+      p_dyn[i] = 0.5 + 0.25 * static_cast<double>(epoch);  // distinct per epoch
+      p_leak[i] = 0.01;
+    }
+  };
+  const auto r = solve_transient_cosim(tech(), fp, hook, opts);
+  ASSERT_EQ(epochs_seen.size(), 3u);
+  EXPECT_EQ(epochs_seen, (std::vector<long long>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(times_seen[0], 0.0);
+  EXPECT_DOUBLE_EQ(times_seen[1], 1e-3);
+  EXPECT_DOUBLE_EQ(times_seen[2], 2e-3);
+  EXPECT_DOUBLE_EQ(first_temp, die_1mm().t_sink);  // epoch 0 starts at the sink
+  // Recorded totals are the epoch's held powers (4 blocks each).
+  ASSERT_EQ(r.dynamic_power.size(), 4u);  // t = 0 plus the 3 epoch-end records
+  EXPECT_DOUBLE_EQ(r.dynamic_power[0], 4 * 0.5);
+  EXPECT_DOUBLE_EQ(r.dynamic_power[1], 4 * 0.5);
+  EXPECT_DOUBLE_EQ(r.dynamic_power[2], 4 * 0.75);
+  EXPECT_DOUBLE_EQ(r.dynamic_power[3], 4 * 1.0);
+  EXPECT_DOUBLE_EQ(r.leakage_power[3], 4 * 0.01);
+}
+
+TEST(TransientCosimHook, RejectsBadEpochConfigurationAndNullHook) {
+  const auto fp = small_plan();
+  auto opts = fast_opts();
+  opts.power_update_every = 0;
+  EXPECT_THROW(solve_transient_cosim(tech(), fp, constant_activity(), opts),
+               PreconditionError);
+  opts = fast_opts();
+  EXPECT_THROW(solve_transient_cosim(tech(), fp, PowerUpdateHook{}, opts),
+               PreconditionError);
+}
+
 }  // namespace
 }  // namespace ptherm::core
