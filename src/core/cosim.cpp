@@ -42,15 +42,43 @@ ElectroThermalSolver::ElectroThermalSolver(device::Technology tech, floorplan::F
 
 void ElectroThermalSolver::build_influence() {
   // Every backend is linear in the injected power, so the influence operator
-  // captures it exactly: R[i][j] = rise at block i per watt in block j.
-  // Construction is batched per column by the backend (thermal/backend.hpp).
+  // captures it exactly: R[i][j] = rise at block i per watt in block j. The
+  // Picard loop only needs R *applied*, so matrix-free-capable backends
+  // (spectral) serve the seam directly; dense construction is batched per
+  // column by the backend (thermal/backend.hpp).
   const auto samples = block_centre_samples(fp_);
   const std::vector<thermal::HeatSource> sources = fp_.heat_sources(tech_);
-  influence_ = InfluenceOperator(backend_->build_influence(sources, samples));
+  const bool want_matrix_free =
+      opts_.influence == InfluenceMode::MatrixFree ||
+      (opts_.influence == InfluenceMode::Auto && backend_->supports_matrix_free_influence());
+  if (want_matrix_free) {
+    // Forced MatrixFree on a dense-only backend throws here, naming it.
+    matrix_free_ = backend_->make_influence_apply(sources, samples);
+  } else {
+    influence_.emplace(backend_->build_influence(sources, samples));
+    // Package resistance couples every pair uniformly: each watt anywhere
+    // raises the whole die by r_package. Matrix-free mode has no matrix to
+    // shift — solve() folds the same term in analytically.
+    if (opts_.r_package > 0.0) influence_->add_uniform(opts_.r_package);
+  }
   influence_stats_ = influence_stats_from(backend_->cost_stats());
-  // Package resistance couples every pair uniformly: each watt anywhere
-  // raises the whole die by r_package.
-  if (opts_.r_package > 0.0) influence_.add_uniform(opts_.r_package);
+}
+
+const thermal::InfluenceApply& ElectroThermalSolver::influence_apply() const noexcept {
+  return matrix_free_ ? static_cast<const thermal::InfluenceApply&>(*matrix_free_)
+                      : *influence_;
+}
+
+const InfluenceOperator& ElectroThermalSolver::influence_matrix() const {
+  if (!influence_) {
+    // Lazy dense realization for diagnostics/ablation consumers: same
+    // backend build (and r_package shift) the dense mode would have done.
+    InfluenceOperator dense(
+        backend_->build_influence(fp_.heat_sources(tech_), block_centre_samples(fp_)));
+    if (opts_.r_package > 0.0) dense.add_uniform(opts_.r_package);
+    influence_ = std::move(dense);
+  }
+  return *influence_;
 }
 
 double ElectroThermalSolver::block_leakage_power(std::size_t i, double temp) const {
@@ -71,12 +99,24 @@ CosimResult ElectroThermalSolver::solve() {
   double prev_delta = 0.0;
   int growth_streak = 0;
 
+  const thermal::InfluenceApply& influence = influence_apply();
+  // In matrix-free mode the uniform package term r_pkg * sum(P) cannot live
+  // inside the operator (there is no matrix to add_uniform); fold it in
+  // analytically per iteration. Dense mode carries it in the matrix.
+  const double r_pkg = matrix_free_ ? opts_.r_package : 0.0;
+
   for (int it = 0; it < opts_.max_iterations; ++it) {
     result.iterations = it + 1;
     for (std::size_t j = 0; j < n; ++j) {
       powers[j] = blocks[j].p_dynamic + block_leakage_power(j, temps[j]);
     }
-    influence_.apply(powers, rises);
+    influence.apply(powers, rises);
+    if (r_pkg > 0.0) {
+      double p_total = 0.0;
+      for (std::size_t j = 0; j < n; ++j) p_total += powers[j];
+      const double pkg_rise = r_pkg * p_total;
+      for (std::size_t i = 0; i < n; ++i) rises[i] += pkg_rise;
+    }
     double max_delta = 0.0;
     double max_rise = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

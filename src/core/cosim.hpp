@@ -26,8 +26,19 @@ namespace ptherm::core {
 /// per-backend option structs in CosimOptions) onto a thermal::SolverBackend.
 enum class ThermalBackend { Analytic, Fdm, Spectral };
 
+/// How the Picard fixed point applies the influence operator.
+///  * Auto: matrix-free when the backend supports it (spectral), dense
+///    otherwise — the right default at every scale.
+///  * Dense: force the n x n matrix build even on a matrix-free-capable
+///    backend (the equivalence reference; also what influence_matrix()
+///    consumers get without a lazy rebuild).
+///  * MatrixFree: require the matrix-free path; throws
+///    ptherm::PreconditionError at construction if the backend has none.
+enum class InfluenceMode { Auto, Dense, MatrixFree };
+
 struct CosimOptions {
   ThermalBackend backend = ThermalBackend::Analytic;
+  InfluenceMode influence = InfluenceMode::Auto;
   thermal::ImageOptions images;        ///< analytic backend settings
   thermal::FdmOptions fdm;             ///< FDM backend settings
   thermal::SpectralOptions spectral;   ///< spectral backend settings
@@ -88,11 +99,22 @@ class ElectroThermalSolver {
   /// for the runaway-analysis bench).
   [[nodiscard]] double block_leakage_power(std::size_t i, double temp) const;
 
+  /// The influence-apply seam the Picard loop iterates through: dense in
+  /// Dense mode (and on dense-only backends), the backend's matrix-free
+  /// operator otherwise. In matrix-free mode r_package is NOT inside the
+  /// operator — solve() folds it in analytically as r_pkg * sum(P).
+  [[nodiscard]] const thermal::InfluenceApply& influence_apply() const noexcept;
+
+  /// Whether solve() runs matrix-free (no dense matrix was built).
+  [[nodiscard]] bool matrix_free() const noexcept { return matrix_free_ != nullptr; }
+
   /// Thermal influence operator R[i][j] = rise at block i's centre per watt
-  /// in block j [K/W], as realised by the configured backend. Built at
-  /// construction; exposed because the runaway criterion (spectral condition
-  /// R * dP/dT < 1) is an ablation bench.
-  [[nodiscard]] const InfluenceOperator& influence_matrix() const noexcept { return influence_; }
+  /// in block j [K/W] including r_package, as realised by the configured
+  /// backend. Exposed because the runaway criterion (spectral condition
+  /// R * dP/dT < 1) is an ablation bench and the RC network factorizes it.
+  /// In matrix-free mode the dense matrix is realised lazily on first call —
+  /// an O(n^2) diagnostic escape hatch the solve itself never pays.
+  [[nodiscard]] const InfluenceOperator& influence_matrix() const;
 
   /// Cost counters from the influence build (FDM CG iterations, spectral
   /// modes/FFTs), for the perf-trajectory benches.
@@ -111,7 +133,12 @@ class ElectroThermalSolver {
   floorplan::Floorplan fp_;
   CosimOptions opts_;
   std::unique_ptr<thermal::SolverBackend> backend_;
-  InfluenceOperator influence_;
+  /// Matrix-free operator (set iff the resolved mode is matrix-free).
+  std::unique_ptr<thermal::InfluenceApply> matrix_free_;
+  /// Dense operator: built eagerly in dense mode, lazily by
+  /// influence_matrix() in matrix-free mode (mutable: realization is a
+  /// cache, not observable state).
+  mutable std::optional<InfluenceOperator> influence_;
   InfluenceBuildStats influence_stats_;
 };
 

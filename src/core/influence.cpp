@@ -27,10 +27,16 @@ void InfluenceOperator::add_uniform(double resistance) {
 }
 
 void InfluenceOperator::apply(std::span<const double> powers, std::span<double> rises) const {
+  // The documented contract, enforced: a silent mismatch would be an
+  // out-of-bounds matvec.
+  PTHERM_REQUIRE(powers.size() == size() && rises.size() == size(),
+                 "InfluenceOperator::apply: powers/rises must have size() elements");
   r_.multiply(powers, rises);
 }
 
 std::vector<double> InfluenceOperator::apply(std::span<const double> powers) const {
+  PTHERM_REQUIRE(powers.size() == size(),
+                 "InfluenceOperator::apply: powers must have size() elements");
   return r_.multiply(powers);
 }
 

@@ -43,13 +43,15 @@ struct InfluenceBuildStats {
 /// silently go missing from `influence_build_stats()`.
 [[nodiscard]] InfluenceBuildStats influence_stats_from(const thermal::BackendCostStats& cost);
 
-/// Square dense influence operator over flat row-major storage.
-class InfluenceOperator {
+/// Square dense influence operator over flat row-major storage: the dense
+/// realization of the thermal::InfluenceApply seam (the matrix-free spectral
+/// realization lives behind SolverBackend::make_influence_apply).
+class InfluenceOperator final : public thermal::InfluenceApply {
  public:
   InfluenceOperator() = default;
   explicit InfluenceOperator(numerics::Matrix r);
 
-  [[nodiscard]] std::size_t size() const noexcept { return r_.rows(); }
+  [[nodiscard]] std::size_t size() const noexcept override { return r_.rows(); }
 
   /// R[i][j], bounds-checked.
   [[nodiscard]] double at(std::size_t i, std::size_t j) const;
@@ -58,9 +60,12 @@ class InfluenceOperator {
   /// path couples every pair of blocks uniformly.
   void add_uniform(double resistance);
 
-  /// rises = R * powers (sizes must equal size()); allocation-free.
-  void apply(std::span<const double> powers, std::span<double> rises) const;
+  /// rises = R * powers; both spans must have size() elements (throws
+  /// ptherm::PreconditionError otherwise); allocation-free.
+  void apply(std::span<const double> powers, std::span<double> rises) const override;
   [[nodiscard]] std::vector<double> apply(std::span<const double> powers) const;
+
+  [[nodiscard]] std::string_view kind() const noexcept override { return "dense"; }
 
   [[nodiscard]] const numerics::Matrix& matrix() const noexcept { return r_; }
 

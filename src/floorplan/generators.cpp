@@ -1,6 +1,9 @@
 #include "floorplan/generators.hpp"
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -8,18 +11,23 @@ namespace ptherm::floorplan {
 
 namespace {
 
+/// The library a generator call draws leakage populations from: the caller's
+/// shared one when provided, otherwise a library characterized for THIS
+/// technology object. No process-wide cache: two Technology objects with the
+/// same name but different parameters (Monte Carlo variants) must not alias.
+std::shared_ptr<const netlist::CellLibrary> resolve_library(const device::Technology& tech,
+                                                            const GeneratorConfig& cfg) {
+  if (cfg.library) return cfg.library;
+  return std::make_shared<const netlist::CellLibrary>(tech);
+}
+
 /// Fills a block with a plausible static leakage population: a mix of
-/// library cells in random static states, scaled to the block area.
-void populate_leakage(Block& block, const device::Technology& tech,
-                      const GeneratorConfig& cfg, Rng& rng) {
-  static thread_local std::shared_ptr<const netlist::CellLibrary> lib;
-  static thread_local std::string lib_tech;
-  if (!lib || lib_tech != tech.name) {
-    lib = std::make_shared<const netlist::CellLibrary>(tech);
-    lib_tech = tech.name;
-  }
+/// library cells in random static states, scaled to the block area at
+/// `gates_per_mm2`.
+void populate_leakage(Block& block, const netlist::CellLibrary& lib, double gates_per_mm2,
+                      Rng& rng) {
   const double area_mm2 = block.rect.area() * 1e6;  // m^2 -> mm^2
-  const double gates = cfg.gates_per_mm2 * area_mm2;
+  const double gates = gates_per_mm2 * area_mm2;
   if (gates <= 0.0) return;
   // Representative mix: 40% inverters, 30% nand2, 20% nor2, 10% nand3, each
   // in a random static state shared by the whole group (adequate for block
@@ -30,7 +38,7 @@ void populate_leakage(Block& block, const device::Technology& tech,
   };
   const MixEntry mix[] = {{"inv", 0.4}, {"nand2", 0.3}, {"nor2", 0.2}, {"nand3", 0.1}};
   for (const auto& m : mix) {
-    const auto cell = lib->find(m.cell);
+    const auto cell = lib.find(m.cell);
     leakage::InputVector inputs(static_cast<std::size_t>(cell->input_count()));
     for (std::size_t b = 0; b < inputs.size(); ++b) inputs[b] = rng.bernoulli();
     block.gate_groups.push_back({cell, std::move(inputs), gates * m.fraction});
@@ -39,10 +47,20 @@ void populate_leakage(Block& block, const device::Technology& tech,
 
 }  // namespace
 
+void validate(const GeneratorConfig& cfg) {
+  PTHERM_REQUIRE(cfg.total_dynamic_power >= 0.0,
+                 "GeneratorConfig: total_dynamic_power must be >= 0");
+  PTHERM_REQUIRE(cfg.gates_per_mm2 >= 0.0, "GeneratorConfig: gates_per_mm2 must be >= 0");
+  PTHERM_REQUIRE(cfg.margin_fraction >= 0.0 && cfg.margin_fraction < 0.5,
+                 "GeneratorConfig: margin_fraction must be in [0, 0.5)");
+}
+
 Floorplan make_uniform_grid(const device::Technology& tech, const thermal::Die& die, int nx,
                             int ny, const GeneratorConfig& cfg, Rng& rng) {
   PTHERM_REQUIRE(nx >= 1 && ny >= 1, "make_uniform_grid: empty grid");
+  validate(cfg);
   Floorplan fp(die);
+  const auto lib = resolve_library(tech, cfg);
   const double mx = die.width * cfg.margin_fraction;
   const double my = die.height * cfg.margin_fraction;
   const double tile_w = (die.width - 2.0 * mx) / nx;
@@ -57,7 +75,7 @@ Floorplan make_uniform_grid(const device::Technology& tech, const thermal::Die& 
       b.rect = {mx + i * tile_w + 0.02 * tile_w, my + j * tile_h + 0.02 * tile_h,
                 0.96 * tile_w, 0.96 * tile_h};
       b.p_dynamic = p_tile;
-      populate_leakage(b, tech, cfg, rng);
+      populate_leakage(b, *lib, cfg.gates_per_mm2, rng);
       fp.add_block(std::move(b));
     }
   }
@@ -70,53 +88,74 @@ Floorplan make_hotspot_map(const device::Technology& tech, const thermal::Die& d
   PTHERM_REQUIRE(hotspots >= 1, "make_hotspot_map: need at least one hotspot");
   PTHERM_REQUIRE(hot_fraction > 0.0 && hot_fraction < 1.0,
                  "make_hotspot_map: hot_fraction in (0,1)");
+  validate(cfg);
   Floorplan fp(die);
-  // Background sea: a 3x3 grid carrying the cold fraction.
-  {
-    GeneratorConfig sea_cfg = cfg;
-    sea_cfg.total_dynamic_power = cfg.total_dynamic_power * (1.0 - hot_fraction);
-    Floorplan sea = make_uniform_grid(tech, die, 3, 3, sea_cfg, rng);
-    // Re-add the sea tiles at reduced size so hotspots fit between them:
-    // instead we overlay hotspots in the tile gaps; simplest robust approach
-    // is to place hotspots in the margins of the 3x3 sea tiles.
-    for (auto& b : sea.blocks()) fp.add_block(b);
-  }
-  const double p_hot = cfg.total_dynamic_power * hot_fraction / hotspots;
-  const double hs_w = die.width * 0.04;
-  const double hs_h = die.height * 0.04;
-  int placed = 0;
-  int attempts = 0;
-  while (placed < hotspots && attempts < 10000) {
-    ++attempts;
-    Block b;
-    b.name = "hotspot_" + std::to_string(placed);
-    b.rect = {rng.uniform(0.0, die.width - hs_w), rng.uniform(0.0, die.height - hs_h), hs_w,
-              hs_h};
-    bool clear = true;
-    for (const auto& other : fp.blocks()) {
-      if (b.rect.overlaps(other.rect)) {
-        clear = false;
-        break;
-      }
+  const auto lib = resolve_library(tech, cfg);
+  const double mx = die.width * cfg.margin_fraction;
+  const double my = die.height * cfg.margin_fraction;
+  const double pitch_x = (die.width - 2.0 * mx) / 3.0;
+  const double pitch_y = (die.height - 2.0 * my) / 3.0;
+  // Background sea: a 3x3 tile grid carrying the cold fraction. Each tile
+  // occupies the central 80% of its pitch cell, leaving 0.2-pitch inter-tile
+  // gaps wide enough to host the hotspots.
+  const double sea_power = cfg.total_dynamic_power * (1.0 - hot_fraction) / 9.0;
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      Block b;
+      b.name = "sea_" + std::to_string(i) + "_" + std::to_string(j);
+      b.rect = {mx + (i + 0.10) * pitch_x, my + (j + 0.10) * pitch_y, 0.80 * pitch_x,
+                0.80 * pitch_y};
+      b.p_dynamic = sea_power;
+      populate_leakage(b, *lib, cfg.gates_per_mm2, rng);
+      fp.add_block(std::move(b));
     }
-    if (!clear) continue;
-    b.p_dynamic = p_hot;
-    GeneratorConfig hot_cfg = cfg;
-    hot_cfg.gates_per_mm2 = cfg.gates_per_mm2 * 4.0;  // dense logic
-    populate_leakage(b, tech, hot_cfg, rng);
-    fp.add_block(std::move(b));
-    ++placed;
   }
-  PTHERM_REQUIRE(placed == hotspots, "make_hotspot_map: could not place all hotspots");
+  // Hotspots go into deterministic slots centred in the inter-tile gaps
+  // (never the margin): the 4 gap crossings, then the 6 vertical-gap spans
+  // at tile-row centres, then the 6 horizontal-gap spans at tile-column
+  // centres — 16 slots total, each clear of the sea tiles and of the other
+  // slots by construction, so placement cannot fail for hotspots <= 16.
+  std::vector<std::pair<double, double>> slots;
+  const auto gap_x = [&](int i) { return mx + i * pitch_x; };
+  const auto gap_y = [&](int j) { return my + j * pitch_y; };
+  const auto centre_x = [&](int i) { return mx + (i + 0.5) * pitch_x; };
+  const auto centre_y = [&](int j) { return my + (j + 0.5) * pitch_y; };
+  for (int i = 1; i <= 2; ++i) {
+    for (int j = 1; j <= 2; ++j) slots.emplace_back(gap_x(i), gap_y(j));
+  }
+  for (int i = 1; i <= 2; ++i) {
+    for (int j = 0; j < 3; ++j) slots.emplace_back(gap_x(i), centre_y(j));
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 1; j <= 2; ++j) slots.emplace_back(centre_x(i), gap_y(j));
+  }
+  PTHERM_REQUIRE(hotspots <= static_cast<int>(slots.size()),
+                 "make_hotspot_map: at most 16 hotspots fit in the inter-tile gaps");
+  const double p_hot = cfg.total_dynamic_power * hot_fraction / hotspots;
+  const double hs_w = 0.12 * pitch_x;  // 60% of the gap width
+  const double hs_h = 0.12 * pitch_y;
+  for (int k = 0; k < hotspots; ++k) {
+    Block b;
+    b.name = "hotspot_" + std::to_string(k);
+    b.rect = {slots[static_cast<std::size_t>(k)].first - 0.5 * hs_w,
+              slots[static_cast<std::size_t>(k)].second - 0.5 * hs_h, hs_w, hs_h};
+    b.p_dynamic = p_hot;
+    populate_leakage(b, *lib, cfg.gates_per_mm2 * 4.0, rng);  // dense logic
+    fp.add_block(std::move(b));
+  }
   return fp;
 }
 
 Floorplan make_checkerboard(const device::Technology& tech, const thermal::Die& die, int nx,
                             int ny, const GeneratorConfig& cfg, Rng& rng) {
   PTHERM_REQUIRE(nx >= 1 && ny >= 1, "make_checkerboard: empty grid");
+  validate(cfg);
   Floorplan fp(die);
-  const double tile_w = die.width / nx;
-  const double tile_h = die.height / ny;
+  const auto lib = resolve_library(tech, cfg);
+  const double mx = die.width * cfg.margin_fraction;
+  const double my = die.height * cfg.margin_fraction;
+  const double tile_w = (die.width - 2.0 * mx) / nx;
+  const double tile_h = (die.height - 2.0 * my) / ny;
   const int active_tiles = (nx * ny + 1) / 2;
   const double p_tile = cfg.total_dynamic_power / active_tiles;
   for (int j = 0; j < ny; ++j) {
@@ -125,10 +164,10 @@ Floorplan make_checkerboard(const device::Technology& tech, const thermal::Die& 
       Block b;
       b.name = std::string(active ? "active_" : "idle_") + std::to_string(i) + "_" +
                std::to_string(j);
-      b.rect = {i * tile_w + 0.02 * tile_w, j * tile_h + 0.02 * tile_h, 0.96 * tile_w,
-                0.96 * tile_h};
+      b.rect = {mx + i * tile_w + 0.02 * tile_w, my + j * tile_h + 0.02 * tile_h,
+                0.96 * tile_w, 0.96 * tile_h};
       b.p_dynamic = active ? p_tile : 0.0;
-      populate_leakage(b, tech, cfg, rng);  // idle tiles still leak
+      populate_leakage(b, *lib, cfg.gates_per_mm2, rng);  // idle tiles still leak
       fp.add_block(std::move(b));
     }
   }
@@ -143,12 +182,14 @@ Floorplan make_three_block_ic(const device::Technology& tech, const thermal::Die
   Rng rng(0x7ab5);  // fixed: this is the reference Fig. 6 scenario
   GeneratorConfig cfg;
   cfg.total_dynamic_power = p1 + p2 + p3;
+  validate(cfg);
+  const auto lib = resolve_library(tech, cfg);
   auto add = [&](const char* name, Rect r, double p) {
     Block b;
     b.name = name;
     b.rect = r;
     b.p_dynamic = p;
-    populate_leakage(b, tech, cfg, rng);
+    populate_leakage(b, *lib, cfg.gates_per_mm2, rng);
     fp.add_block(std::move(b));
   };
   // Three blocks echoing the look of the paper's Fig. 6: one large block in
@@ -157,6 +198,63 @@ Floorplan make_three_block_ic(const device::Technology& tech, const thermal::Die
   add("blockA", {0.10 * w, 0.10 * h, 0.35 * w, 0.30 * h}, p1);
   add("blockB", {0.30 * w, 0.60 * h, 0.25 * w, 0.25 * h}, p2);
   add("blockC", {0.70 * w, 0.35 * h, 0.15 * w, 0.15 * h}, p3);
+  return fp;
+}
+
+Floorplan make_manycore(const device::Technology& tech, const thermal::Die& die, int tiles_x,
+                        int tiles_y, const GeneratorConfig& cfg, Rng& rng) {
+  PTHERM_REQUIRE(tiles_x >= 1 && tiles_y >= 1, "make_manycore: empty tile grid");
+  validate(cfg);
+  Floorplan fp(die);
+  const auto lib = resolve_library(tech, cfg);
+  const double mx = die.width * cfg.margin_fraction;
+  const double my = die.height * cfg.margin_fraction;
+  const double pitch_x = (die.width - 2.0 * mx) / tiles_x;
+  const double pitch_y = (die.height - 2.0 * my) / tiles_y;
+  // Per-tile activity weights, normalized so the die-level dynamic budget is
+  // met exactly whatever the tile count; the spread models the heterogeneous
+  // utilization a real manycore workload produces.
+  const int tiles = tiles_x * tiles_y;
+  std::vector<double> weight(static_cast<std::size_t>(tiles));
+  double weight_sum = 0.0;
+  for (auto& w : weight) {
+    w = rng.uniform(0.5, 1.5);
+    weight_sum += w;
+  }
+  // Tile-local layout in pitch units: the core dominates, the L2 slice spans
+  // the tile bottom, the directory slice and NoC router stack on the right —
+  // the McPAT tile anatomy. Sub-blocks stay 0.04 pitch clear of the tile
+  // boundary and of each other, so neighbouring tiles never touch.
+  struct Component {
+    const char* name;
+    double x, y, w, h;    ///< pitch-unit sub-rect within the tile
+    double power_share;   ///< fraction of the tile's dynamic power
+    double density_scale; ///< leakage density relative to cfg.gates_per_mm2
+  };
+  constexpr Component kTile[] = {
+      {"core", 0.04, 0.36, 0.56, 0.60, 0.65, 1.5},
+      {"l2", 0.04, 0.04, 0.92, 0.28, 0.18, 0.6},
+      {"dir", 0.64, 0.36, 0.32, 0.26, 0.05, 0.8},
+      {"router", 0.64, 0.66, 0.32, 0.30, 0.12, 1.0},
+  };
+  for (int j = 0; j < tiles_y; ++j) {
+    for (int i = 0; i < tiles_x; ++i) {
+      const double tile_x = mx + i * pitch_x;
+      const double tile_y = my + j * pitch_y;
+      const std::size_t t = static_cast<std::size_t>(j) * tiles_x + i;
+      const double p_tile = cfg.total_dynamic_power * weight[t] / weight_sum;
+      const std::string suffix = "_" + std::to_string(i) + "_" + std::to_string(j);
+      for (const auto& c : kTile) {
+        Block b;
+        b.name = c.name + suffix;
+        b.rect = {tile_x + c.x * pitch_x, tile_y + c.y * pitch_y, c.w * pitch_x,
+                  c.h * pitch_y};
+        b.p_dynamic = p_tile * c.power_share;
+        populate_leakage(b, *lib, cfg.gates_per_mm2 * c.density_scale, rng);
+        fp.add_block(std::move(b));
+      }
+    }
+  }
   return fp;
 }
 

@@ -1,8 +1,12 @@
 // Synthetic floorplan/power-map generators. The paper's evaluation uses
 // in-house designs we cannot access; these generators produce power maps with
 // the same structural features (uniform logic, concentrated hot spots,
-// alternating active/idle tiles) so every chip-level code path is exercised.
+// alternating active/idle tiles, McPAT-style manycore tilings) so every
+// chip-level code path is exercised — including the manycore-scale runs the
+// matrix-free influence path exists for.
 #pragma once
+
+#include <memory>
 
 #include "common/rng.hpp"
 #include "floorplan/floorplan.hpp"
@@ -14,14 +18,29 @@ struct GeneratorConfig {
   double total_dynamic_power = 10.0;  ///< die-level dynamic budget [W]
   double gates_per_mm2 = 50e3;        ///< leakage population density
   double margin_fraction = 0.05;      ///< empty rim around the die
+  /// Characterized cell library to draw leakage populations from. When null,
+  /// each generator call characterizes a fresh library for its technology —
+  /// correct for any Technology (including same-name Monte Carlo variants,
+  /// which a shared cache keyed on the name would silently alias). Pass a
+  /// library to amortize characterization across many calls on the SAME
+  /// technology (the caller owns that invariant).
+  std::shared_ptr<const netlist::CellLibrary> library;
 };
+
+/// Throws ptherm::PreconditionError if the config is unusable (negative
+/// power budget or gate density, margin outside [0, 0.5)). Every generator
+/// validates on entry.
+void validate(const GeneratorConfig& cfg);
 
 /// nx x ny uniform tile array, equal power per tile.
 Floorplan make_uniform_grid(const device::Technology& tech, const thermal::Die& die, int nx,
                             int ny, const GeneratorConfig& cfg, Rng& rng);
 
-/// A cool background sea plus `hotspots` small, high-density blocks holding
-/// `hot_fraction` of the power budget.
+/// A cool background sea (3x3 tile grid) plus `hotspots` small, high-density
+/// blocks holding `hot_fraction` of the power budget. Hotspots occupy
+/// deterministic slots in the inter-tile gaps of the sea (the margin stays
+/// clear), so placement never fails for hotspot counts up to the 16 slots;
+/// more than 16 throws ptherm::PreconditionError.
 Floorplan make_hotspot_map(const device::Technology& tech, const thermal::Die& die,
                            int hotspots, double hot_fraction, const GeneratorConfig& cfg,
                            Rng& rng);
@@ -33,5 +52,16 @@ Floorplan make_checkerboard(const device::Technology& tech, const thermal::Die& 
 /// The paper's Fig. 6 scenario: three logic blocks on a 1 mm x 1 mm die.
 Floorplan make_three_block_ic(const device::Technology& tech, const thermal::Die& die,
                               double p1, double p2, double p3);
+
+/// McPAT-style tiled manycore: tiles_x x tiles_y tiles, each carrying a core,
+/// an L2 slice, a directory slice, and a NoC router (4 blocks per tile, so
+/// 16x16 tiles is the 1024-block scenario). The die-level dynamic budget is
+/// split across tiles by normalized random activity weights — a per-tile
+/// power mix, deterministic per seed, summing to the budget exactly — and
+/// within a tile by a fixed McPAT-like component split (core-dominated, with
+/// the interconnect and cache slices visible). Margins are respected and
+/// neighbouring tiles never touch.
+Floorplan make_manycore(const device::Technology& tech, const thermal::Die& die, int tiles_x,
+                        int tiles_y, const GeneratorConfig& cfg, Rng& rng);
 
 }  // namespace ptherm::floorplan

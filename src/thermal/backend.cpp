@@ -10,6 +10,14 @@
 
 namespace ptherm::thermal {
 
+std::unique_ptr<InfluenceApply> SolverBackend::make_influence_apply(
+    std::span<const HeatSource>, std::span<const SurfaceSample>) const {
+  std::ostringstream os;
+  os << "thermal backend '" << name()
+     << "' has no matrix-free influence path (build_influence instead)";
+  throw PreconditionError(os.str());
+}
+
 std::unique_ptr<SolverBackend::TransientState> SolverBackend::make_transient_state() const {
   std::ostringstream os;
   os << "thermal backend '" << name() << "' does not support transients";
@@ -266,10 +274,45 @@ class SpectralTransientState final : public SolverBackend::TransientState {
   mutable std::vector<SurfaceSample> gather_points_;
 };
 
+/// The spectral matrix-free influence apply: fixed-geometry projection and
+/// synthesis tables built once, then each apply is powers -> rank-1
+/// flux-mode accumulation -> per-mode transfer -> per-sample cosine
+/// synthesis, all O(n * modes) with no n x n storage anywhere. The
+/// mode-space scratch inside the projection mutates under const apply (like
+/// the backend cost counters, the backend layer is not thread-safe).
+class SpectralInfluenceApply final : public InfluenceApply {
+ public:
+  SpectralInfluenceApply(const SpectralThermalSolver& solver,
+                         std::span<const HeatSource> sources,
+                         std::span<const SurfaceSample> samples)
+      : solver_(&solver), proj_(solver.make_influence_projection(sources, samples)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept override { return proj_.count; }
+
+  void apply(std::span<const double> powers, std::span<double> rises) const override {
+    PTHERM_REQUIRE(powers.size() == proj_.count && rises.size() == proj_.count,
+                   "InfluenceApply::apply: powers/rises must have size() elements");
+    solver_->apply_influence(proj_, powers, rises);
+  }
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "spectral-mode-space";
+  }
+
+ private:
+  const SpectralThermalSolver* solver_;
+  mutable SpectralThermalSolver::InfluenceProjection proj_;
+};
+
 }  // namespace
 
 SpectralBackend::SpectralBackend(Die die, SpectralOptions opts) : solver_(die, opts) {
   stats_.modes = solver_.mode_count();
+}
+
+std::unique_ptr<InfluenceApply> SpectralBackend::make_influence_apply(
+    std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const {
+  return std::make_unique<SpectralInfluenceApply>(solver_, sources, samples);
 }
 
 std::unique_ptr<SolverBackend::TransientState> SpectralBackend::make_transient_state() const {

@@ -28,12 +28,9 @@
 
 namespace ptherm::thermal {
 
-/// A surface point a backend reports rises at (a block centre in the
-/// co-simulation use).
-struct SurfaceSample {
-  double x = 0.0;
-  double y = 0.0;
-};
+// SurfaceSample (the point type every batched query below takes) lives in
+// thermal/images.hpp so the spectral solver's matrix-free influence
+// projections can name it without depending on this layer.
 
 /// Cumulative cost counters since backend construction, for the perf
 /// trajectory. Backends fill the fields that measure their work and leave
@@ -50,6 +47,27 @@ struct BackendCostStats {
   /// hold powers between control decisions, so this counts epochs — the gap
   /// to transient_steps is what the epoch caches saved.
   long long transient_power_updates = 0;
+};
+
+/// The influence-apply seam: `rises = R * powers` as an abstract operator,
+/// so the Picard fixed point can iterate without knowing whether R exists as
+/// a dense matrix (analytic/FDM, and the equivalence reference) or only as a
+/// mode-space procedure (the spectral matrix-free path). Implementations are
+/// square: powers and rises both have `size()` elements, checked on apply.
+class InfluenceApply {
+ public:
+  virtual ~InfluenceApply() = default;
+
+  /// Number of sources == number of sample points.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// rises[i] = sum_j R[i][j] * powers[j] [K]; both spans must have size()
+  /// elements (throws ptherm::PreconditionError otherwise).
+  virtual void apply(std::span<const double> powers, std::span<double> rises) const = 0;
+
+  /// Implementation tag for diagnostics and tests ("dense",
+  /// "spectral-mode-space").
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
 };
 
 class SolverBackend {
@@ -75,6 +93,19 @@ class SolverBackend {
   /// unit-power solve).
   [[nodiscard]] virtual numerics::Matrix build_influence(
       std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const = 0;
+
+  /// Matrix-free influence capability: whether make_influence_apply can
+  /// serve `rises = R * powers` without materializing the dense matrix.
+  /// Backends whose only representation IS the dense matrix return false;
+  /// callers then build_influence instead.
+  [[nodiscard]] virtual bool supports_matrix_free_influence() const noexcept { return false; }
+
+  /// Matrix-free influence-apply operator over the given sources/samples
+  /// (source powers are ignored — the caller supplies powers per apply).
+  /// Only meaningful when supports_matrix_free_influence(); the default
+  /// throws ptherm::PreconditionError naming the backend.
+  [[nodiscard]] virtual std::unique_ptr<InfluenceApply> make_influence_apply(
+      std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const;
 
   /// Transient capability. Backends that can integrate in time return true
   /// and implement the two methods below; the defaults throw
@@ -170,6 +201,14 @@ class SpectralBackend final : public SolverBackend {
   [[nodiscard]] std::vector<double> surface_rise_map(const std::vector<HeatSource>& sources,
                                                      int nx, int ny) const override;
   [[nodiscard]] numerics::Matrix build_influence(
+      std::span<const HeatSource> sources,
+      std::span<const SurfaceSample> samples) const override;
+  /// The matrix-free path: powers -> scaled rank-1 flux-mode accumulation
+  /// over cached per-source projections -> per-mode surface transfer ->
+  /// batched per-sample cosine synthesis. O(n * modes) per apply, never the
+  /// dense n x n matrix.
+  [[nodiscard]] bool supports_matrix_free_influence() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<InfluenceApply> make_influence_apply(
       std::span<const HeatSource> sources,
       std::span<const SurfaceSample> samples) const override;
   [[nodiscard]] bool supports_transient() const noexcept override { return true; }

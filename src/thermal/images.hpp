@@ -22,6 +22,14 @@ struct Die {
   double cv_si = 1.631e6;     ///< volumetric heat capacity [J/(m^3 K)] (transients)
 };
 
+/// A surface point a thermal query reports the rise at (a block centre in
+/// the co-simulation use). Shared by the backend layer's batched queries and
+/// the spectral solver's matrix-free influence projections.
+struct SurfaceSample {
+  double x = 0.0;
+  double y = 0.0;
+};
+
 struct ImageOptions {
   /// Lateral mirror order: images at indices -order..order in both axes
   /// ((2*order+1)^2 positions x 2 mirror signs per axis). 0 disables

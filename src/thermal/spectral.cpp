@@ -234,6 +234,87 @@ std::vector<double> SpectralThermalSolver::surface_map(const Solution& sol, int 
   return map;
 }
 
+// ---------------------------------------------------------- matrix-free apply
+
+SpectralThermalSolver::InfluenceProjection SpectralThermalSolver::make_influence_projection(
+    std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const {
+  const std::size_t n = sources.size();
+  PTHERM_REQUIRE(n > 0, "influence: no sources");
+  PTHERM_REQUIRE(samples.size() == n, "influence: need one sample per source");
+  const std::size_t mx = static_cast<std::size_t>(opts_.modes_x);
+  const std::size_t my = static_cast<std::size_t>(opts_.modes_y);
+  InfluenceProjection proj;
+  proj.count = n;
+  proj.proj_x.resize(n * mx);
+  proj.proj_y.resize(n * my);
+  proj.cos_x.resize(n * mx);
+  proj.cos_y.resize(n * my);
+  proj.coeff.resize(static_cast<std::size_t>(mode_count()));
+  for (std::size_t j = 0; j < n; ++j) {
+    // The shared projection core: steady clipping policy, c_m normalization
+    // and per-watt flux density folded in, so source j's flux modes are
+    // power_j * px_m * py_n.
+    unit_flux_factors(die_, sources[j], opts_.modes_x, opts_.modes_y,
+                      proj.proj_x.data() + j * mx, proj.proj_y.data() + j * my);
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    double* cx = proj.cos_x.data() + p * mx;
+    double* cy = proj.cos_y.data() + p * my;
+    for (std::size_t m = 0; m < mx; ++m) {
+      cx[m] = std::cos(static_cast<double>(m) * kPi * samples[p].x / die_.width);
+    }
+    for (std::size_t nn = 0; nn < my; ++nn) {
+      cy[nn] = std::cos(static_cast<double>(nn) * kPi * samples[p].y / die_.height);
+    }
+  }
+  return proj;
+}
+
+void SpectralThermalSolver::apply_influence(InfluenceProjection& proj,
+                                            std::span<const double> powers,
+                                            std::span<double> rises) const {
+  const std::size_t n = proj.count;
+  const std::size_t mx = static_cast<std::size_t>(opts_.modes_x);
+  const std::size_t my = static_cast<std::size_t>(opts_.modes_y);
+  PTHERM_REQUIRE(proj.proj_x.size() == n * mx && proj.proj_y.size() == n * my &&
+                     proj.coeff.size() == static_cast<std::size_t>(mode_count()),
+                 "apply_influence: projection belongs to a different spectral configuration");
+  PTHERM_REQUIRE(powers.size() == n && rises.size() == n,
+                 "apply_influence: powers/rises must have one entry per source");
+  // (1) Powers -> flux modes: a power-scaled rank-1 accumulate per source.
+  std::fill(proj.coeff.begin(), proj.coeff.end(), 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double power = powers[j];
+    if (power == 0.0) continue;
+    const double* px = proj.proj_x.data() + j * mx;
+    const double* py = proj.proj_y.data() + j * my;
+    for (std::size_t nn = 0; nn < my; ++nn) {
+      const double fy = power * py[nn];
+      if (fy == 0.0) continue;
+      double* row = proj.coeff.data() + nn * mx;
+      for (std::size_t m = 0; m < mx; ++m) row[m] += fy * px[m];
+    }
+  }
+  // (2) Per-mode surface transfer: flux modes -> surface-rise coefficients.
+  for (std::size_t mode = 0; mode < proj.coeff.size(); ++mode) {
+    proj.coeff[mode] *= transfer_[mode];
+  }
+  // (3) Batched readback: separable cosine synthesis per sample from the
+  // cached tables (the gather matvec, without materializing its matrix).
+  for (std::size_t p = 0; p < n; ++p) {
+    const double* cx = proj.cos_x.data() + p * mx;
+    const double* cy = proj.cos_y.data() + p * my;
+    double total = 0.0;
+    for (std::size_t nn = 0; nn < my; ++nn) {
+      const double* row = proj.coeff.data() + nn * mx;
+      double inner = 0.0;
+      for (std::size_t m = 0; m < mx; ++m) inner += row[m] * cx[m];
+      total += inner * cy[nn];
+    }
+    rises[p] = total;
+  }
+}
+
 // ------------------------------------------------------------------ transient
 
 SpectralThermalSolver::TransientSolution SpectralThermalSolver::make_transient() const {

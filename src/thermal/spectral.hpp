@@ -31,6 +31,7 @@
 // fully off-die sources contribute nothing; degenerate sources throw.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "thermal/images.hpp"
@@ -82,6 +83,36 @@ class SpectralThermalSolver {
   /// for the batched influence build.
   void accumulate_surface_coefficients(const std::vector<HeatSource>& sources,
                                        std::vector<double>& coeff) const;
+
+  /// Cached machinery for the matrix-free influence apply `rises = R *
+  /// powers`: per-source separable unit-power flux projections (the
+  /// TransientSolution projection-cache idea, fixed geometry so it is built
+  /// once) plus per-sample cosine synthesis tables, and mode-space scratch.
+  /// Memory is O(n * modes_per_axis) — the whole point versus the O(n^2)
+  /// dense matrix whose build is also O(n^2 * modes).
+  struct InfluenceProjection {
+    std::size_t count = 0;       ///< sources == samples count
+    std::vector<double> proj_x;  ///< per-watt x flux factors, modes_x per source
+    std::vector<double> proj_y;  ///< per-watt y flux factors, modes_y per source
+    std::vector<double> cos_x;   ///< cos(m pi x_i / W) tables, modes_x per sample
+    std::vector<double> cos_y;   ///< cos(n pi y_i / H) tables, modes_y per sample
+    std::vector<double> coeff;   ///< mode-space scratch (mode_count())
+  };
+
+  /// Builds the influence projection for fixed source geometry and sample
+  /// points (source powers are ignored; the caller supplies powers per
+  /// apply). Requires one sample per source. Off-die sources project to
+  /// zero; degenerate sources throw — the shared clipping policy.
+  [[nodiscard]] InfluenceProjection make_influence_projection(
+      std::span<const HeatSource> sources, std::span<const SurfaceSample> samples) const;
+
+  /// rises[i] = sum_j R[i][j] * powers[j] without forming R: accumulate the
+  /// flux modes as power-scaled rank-1 updates, apply the per-mode surface
+  /// transfer, then synthesize each sample from the cached cosine tables.
+  /// `proj` must come from this solver's make_influence_projection; both
+  /// spans must have proj.count elements.
+  void apply_influence(InfluenceProjection& proj, std::span<const double> powers,
+                       std::span<double> rises) const;
 
   /// Transient field in mode space: per-(lateral mode, z-mode) amplitudes
   /// plus the synthesized surface solution, and the two step caches — the

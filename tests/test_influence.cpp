@@ -69,8 +69,16 @@ TEST(Influence, RejectsBadShapesAndSizes) {
   EXPECT_THROW(InfluenceOperator(numerics::Matrix(2, 3)), PreconditionError);
   const InfluenceOperator op(numerics::Matrix(2, 2));
   EXPECT_THROW((void)op.at(2, 0), PreconditionError);
+  // Both apply overloads enforce the documented size contract themselves
+  // (mismatches used to be out-of-bounds UB waiting on the matvec).
   std::vector<double> p3(3, 0.0);
   EXPECT_THROW((void)op.apply(p3), PreconditionError);
+  std::vector<double> p2(2, 0.0);
+  std::vector<double> out3(3, 0.0);
+  std::vector<double> out2(2, 0.0);
+  EXPECT_THROW(op.apply(p3, out2), PreconditionError);
+  EXPECT_THROW(op.apply(p2, out3), PreconditionError);
+  EXPECT_NO_THROW(op.apply(p2, out2));
 }
 
 TEST(Influence, AnalyticBatchedMatchesSeedPerColumnBuild) {

@@ -1,0 +1,201 @@
+// Tests for the influence-apply seam: the spectral matrix-free operator
+// against the dense build (operator-level and full-cosim equivalence,
+// including a lumped package resistance), mode resolution/rejection of the
+// InfluenceMode selector, the lazy dense realization, and manycore-scale
+// convergence without an n x n matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/cosim.hpp"
+#include "core/influence.hpp"
+#include "floorplan/generators.hpp"
+#include "thermal/backend.hpp"
+
+namespace ptherm::core {
+namespace {
+
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+thermal::Die die_2mm() {
+  thermal::Die d;
+  d.width = 2e-3;
+  d.height = 2e-3;
+  d.thickness = 350e-6;
+  d.k_si = 148.0;
+  d.t_sink = 318.15;
+  return d;
+}
+
+floorplan::Floorplan manycore_plan(int tiles, double p_total = 4.0) {
+  Rng rng(23);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = p_total;
+  cfg.gates_per_mm2 = 50e3;
+  return floorplan::make_manycore(tech(), die_2mm(), tiles, tiles, cfg, rng);
+}
+
+CosimOptions spectral_opts(InfluenceMode mode) {
+  CosimOptions opts;
+  opts.backend = ThermalBackend::Spectral;
+  opts.influence = mode;
+  return opts;
+}
+
+TEST(InfluenceApply, SpectralOperatorMatchesDenseMatvec) {
+  // The seam itself: one matrix-free apply against the dense columns, same
+  // sources, same samples, random powers.
+  const auto fp = manycore_plan(3);  // 36 blocks
+  const auto sources = fp.heat_sources(tech());
+  const auto samples = block_centre_samples(fp);
+  const thermal::SpectralBackend backend(fp.die(), {});
+
+  const auto op = backend.make_influence_apply(sources, samples);
+  ASSERT_EQ(op->size(), sources.size());
+  EXPECT_EQ(op->kind(), "spectral-mode-space");
+
+  const InfluenceOperator dense(backend.build_influence(sources, samples));
+  Rng rng(99);
+  std::vector<double> powers(sources.size());
+  for (auto& p : powers) p = rng.uniform(0.0, 2.0);
+  std::vector<double> free_rises(sources.size());
+  std::vector<double> dense_rises(sources.size());
+  op->apply(powers, free_rises);
+  dense.apply(powers, dense_rises);
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    EXPECT_NEAR(free_rises[i], dense_rises[i], 1e-10) << "sample " << i;
+  }
+}
+
+TEST(InfluenceApply, ApplyChecksSpanSizes) {
+  const auto fp = manycore_plan(3);
+  const auto sources = fp.heat_sources(tech());
+  const auto samples = block_centre_samples(fp);
+  const thermal::SpectralBackend backend(fp.die(), {});
+  const auto op = backend.make_influence_apply(sources, samples);
+  std::vector<double> powers(sources.size(), 1.0);
+  std::vector<double> short_out(sources.size() - 1);
+  std::vector<double> rises(sources.size());
+  EXPECT_THROW(op->apply(powers, short_out), PreconditionError);
+  const std::vector<double> short_powers(sources.size() - 1, 1.0);
+  EXPECT_THROW(op->apply(short_powers, rises), PreconditionError);
+}
+
+TEST(InfluenceApply, DenseOnlyBackendsRejectForcedMatrixFree) {
+  const auto fp = manycore_plan(3);
+  for (const ThermalBackend backend : {ThermalBackend::Analytic, ThermalBackend::Fdm}) {
+    CosimOptions opts;
+    opts.backend = backend;
+    opts.influence = InfluenceMode::MatrixFree;
+    if (backend == ThermalBackend::Fdm) {
+      opts.fdm.nx = 16;
+      opts.fdm.ny = 16;
+      opts.fdm.nz = 8;
+    }
+    EXPECT_THROW(ElectroThermalSolver(tech(), fp, opts), PreconditionError);
+  }
+}
+
+TEST(InfluenceApply, AutoResolvesPerBackendCapability) {
+  const auto fp = manycore_plan(3);
+  ElectroThermalSolver spectral(tech(), fp, spectral_opts(InfluenceMode::Auto));
+  EXPECT_TRUE(spectral.matrix_free());
+  EXPECT_EQ(spectral.influence_apply().kind(), "spectral-mode-space");
+
+  ElectroThermalSolver analytic(tech(), fp, {});
+  EXPECT_FALSE(analytic.matrix_free());
+  EXPECT_EQ(analytic.influence_apply().kind(), "dense");
+
+  ElectroThermalSolver forced_dense(tech(), fp, spectral_opts(InfluenceMode::Dense));
+  EXPECT_FALSE(forced_dense.matrix_free());
+  EXPECT_EQ(forced_dense.influence_apply().kind(), "dense");
+}
+
+TEST(InfluenceApply, MatrixFreeCosimMatchesDenseCosim) {
+  // The acceptance bar: the full concurrent solve, matrix-free versus the
+  // dense reference, agrees to <= 1e-10 max |dT| at 36 blocks with the SAME
+  // Picard iteration count.
+  const auto fp = manycore_plan(3);
+  ElectroThermalSolver dense(tech(), fp, spectral_opts(InfluenceMode::Dense));
+  ElectroThermalSolver free_solver(tech(), fp, spectral_opts(InfluenceMode::MatrixFree));
+  const auto rd = dense.solve();
+  const auto rf = free_solver.solve();
+  ASSERT_TRUE(rd.converged);
+  ASSERT_TRUE(rf.converged);
+  EXPECT_EQ(rd.iterations, rf.iterations);
+  ASSERT_EQ(rd.blocks.size(), rf.blocks.size());
+  for (std::size_t i = 0; i < rd.blocks.size(); ++i) {
+    EXPECT_NEAR(rf.blocks[i].temperature, rd.blocks[i].temperature, 1e-10) << "block " << i;
+  }
+}
+
+TEST(InfluenceApply, MatrixFreeCosimMatchesDenseCosimWithPackageResistance) {
+  // r_package lives inside the dense matrix (add_uniform) but is folded in
+  // analytically as r_pkg * sum(P) on the matrix-free path; the two must
+  // still agree to the same bar.
+  auto dense_opts = spectral_opts(InfluenceMode::Dense);
+  auto free_opts = spectral_opts(InfluenceMode::MatrixFree);
+  dense_opts.r_package = 0.5;
+  free_opts.r_package = 0.5;
+  const auto fp = manycore_plan(3);
+  ElectroThermalSolver dense(tech(), fp, dense_opts);
+  ElectroThermalSolver free_solver(tech(), fp, free_opts);
+  const auto rd = dense.solve();
+  const auto rf = free_solver.solve();
+  ASSERT_TRUE(rd.converged);
+  ASSERT_TRUE(rf.converged);
+  EXPECT_EQ(rd.iterations, rf.iterations);
+  for (std::size_t i = 0; i < rd.blocks.size(); ++i) {
+    EXPECT_NEAR(rf.blocks[i].temperature, rd.blocks[i].temperature, 1e-10) << "block " << i;
+  }
+  // And the package term is genuinely in play: hotter than the bare solve.
+  ElectroThermalSolver bare(tech(), fp, spectral_opts(InfluenceMode::MatrixFree));
+  const auto rb = bare.solve();
+  EXPECT_GT(rf.max_temperature, rb.max_temperature + 0.1);
+}
+
+TEST(InfluenceApply, LazyDenseRealizationMatchesTheOperator) {
+  // influence_matrix() on a matrix-free solver realizes the dense matrix on
+  // demand (including r_package) — the ablation/RC-network escape hatch.
+  auto opts = spectral_opts(InfluenceMode::MatrixFree);
+  opts.r_package = 0.25;
+  const auto fp = manycore_plan(3);
+  ElectroThermalSolver solver(tech(), fp, opts);
+  const auto& dense = solver.influence_matrix();
+  ASSERT_EQ(dense.size(), fp.blocks().size());
+
+  std::vector<double> powers(dense.size(), 1.0);
+  std::vector<double> from_matrix(dense.size());
+  std::vector<double> from_operator(dense.size());
+  dense.apply(powers, from_matrix);
+  solver.influence_apply().apply(powers, from_operator);
+  double p_total = 0.0;
+  for (const double p : powers) p_total += p;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    // The operator excludes the package term; the realized matrix includes it.
+    EXPECT_NEAR(from_matrix[i], from_operator[i] + opts.r_package * p_total, 1e-10);
+  }
+}
+
+TEST(InfluenceApply, ManycoreScaleCosimConvergesMatrixFree) {
+  // 16x16 tiles = 1024 blocks: the scale the dense build exists to avoid
+  // (the n x n matrix alone would be 8 MB and O(n^2 modes) to fill). The
+  // matrix-free solve must converge with the usual iteration budget.
+  const auto fp = manycore_plan(16, 30.0);
+  ASSERT_EQ(fp.blocks().size(), 1024u);
+  ElectroThermalSolver solver(tech(), fp, spectral_opts(InfluenceMode::Auto));
+  EXPECT_TRUE(solver.matrix_free());
+  const auto r = solver.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.runaway);
+  EXPECT_EQ(r.blocks.size(), 1024u);
+  EXPECT_GT(r.max_temperature, fp.die().t_sink);
+}
+
+}  // namespace
+}  // namespace ptherm::core
