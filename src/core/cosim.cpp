@@ -12,13 +12,28 @@ std::unique_ptr<thermal::SolverBackend> make_thermal_backend(const thermal::Die&
                                                              const CosimOptions& opts) {
   switch (opts.backend) {
     case ThermalBackend::Analytic:
+      // The image method is a closed form for the single homogeneous die; a
+      // stack is only acceptable when it IS that problem.
+      PTHERM_REQUIRE(!opts.stack || opts.stack->reduces_to(die),
+                     "make_thermal_backend: the analytic backend needs a stack that "
+                     "reduces to the die (use Fdm or Spectral for layered stacks)");
       return std::make_unique<thermal::AnalyticImagesBackend>(die, opts.images);
     case ThermalBackend::Fdm:
+      if (opts.stack) return std::make_unique<thermal::FdmBackend>(die, *opts.stack, opts.fdm);
       return std::make_unique<thermal::FdmBackend>(die, opts.fdm);
     case ThermalBackend::Spectral:
+      if (opts.stack) {
+        return std::make_unique<thermal::SpectralBackend>(die, *opts.stack, opts.spectral);
+      }
       return std::make_unique<thermal::SpectralBackend>(die, opts.spectral);
   }
   throw PreconditionError("make_thermal_backend: unknown backend");
+}
+
+double boundary_fold_resistance(const CosimOptions& opts) {
+  double r = opts.r_package;
+  if (opts.stack) r += opts.stack->package_resistance();
+  return r;
 }
 
 void validate(const CosimOptions& opts) {
@@ -56,10 +71,12 @@ void ElectroThermalSolver::build_influence() {
     matrix_free_ = backend_->make_influence_apply(sources, samples);
   } else {
     influence_.emplace(backend_->build_influence(sources, samples));
-    // Package resistance couples every pair uniformly: each watt anywhere
-    // raises the whole die by r_package. Matrix-free mode has no matrix to
-    // shift — solve() folds the same term in analytically.
-    if (opts_.r_package > 0.0) influence_->add_uniform(opts_.r_package);
+    // The boundary resistance (r_package + stack RC network) couples every
+    // pair uniformly: each watt anywhere raises the whole die by it.
+    // Matrix-free mode has no matrix to shift — solve() folds the same term
+    // in analytically, through the same helper.
+    const double r_fold = boundary_fold_resistance(opts_);
+    if (r_fold > 0.0) influence_->add_uniform(r_fold);
   }
   influence_stats_ = influence_stats_from(backend_->cost_stats());
 }
@@ -72,10 +89,11 @@ const thermal::InfluenceApply& ElectroThermalSolver::influence_apply() const noe
 const InfluenceOperator& ElectroThermalSolver::influence_matrix() const {
   if (!influence_) {
     // Lazy dense realization for diagnostics/ablation consumers: same
-    // backend build (and r_package shift) the dense mode would have done.
+    // backend build (and boundary-fold shift) the dense mode would have done.
     InfluenceOperator dense(
         backend_->build_influence(fp_.heat_sources(tech_), block_centre_samples(fp_)));
-    if (opts_.r_package > 0.0) dense.add_uniform(opts_.r_package);
+    const double r_fold = boundary_fold_resistance(opts_);
+    if (r_fold > 0.0) dense.add_uniform(r_fold);
     influence_ = std::move(dense);
   }
   return *influence_;
@@ -100,10 +118,11 @@ CosimResult ElectroThermalSolver::solve() {
   int growth_streak = 0;
 
   const thermal::InfluenceApply& influence = influence_apply();
-  // In matrix-free mode the uniform package term r_pkg * sum(P) cannot live
+  // In matrix-free mode the uniform boundary term fold * sum(P) cannot live
   // inside the operator (there is no matrix to add_uniform); fold it in
-  // analytically per iteration. Dense mode carries it in the matrix.
-  const double r_pkg = matrix_free_ ? opts_.r_package : 0.0;
+  // analytically per iteration. Dense mode carries it in the matrix — both
+  // through boundary_fold_resistance, so the modes cannot diverge.
+  const double r_pkg = matrix_free_ ? boundary_fold_resistance(opts_) : 0.0;
 
   for (int it = 0; it < opts_.max_iterations; ++it) {
     result.iterations = it + 1;

@@ -51,7 +51,24 @@ struct CosimOptions {
   /// R_pkg * P_total on top of the on-die spreading the thermal model
   /// resolves (the sink plane is then the package case, not the ambient).
   double r_package = 0.0;
+  /// Die stack for the conduction problem (thermal/stack.hpp). Unset: the
+  /// classic single-die problem from the floorplan's Die. Set: the FDM and
+  /// spectral backends solve the layered stack (the analytic backend only
+  /// accepts stacks that reduce to the die), and an RcNetwork boundary adds
+  /// its total_resistance() to the steady boundary fold exactly like
+  /// r_package (see boundary_fold_resistance) — the transient cosim is
+  /// where the network's dynamics come alive.
+  std::optional<thermal::DieStack> stack;
 };
+
+/// The ONE uniform boundary resistance [K/W] a steady cosim folds on top of
+/// the conduction operator: r_package plus the stack boundary's RC-network
+/// resistance (if any). Dense influence builds add it to every matrix entry
+/// (InfluenceOperator::add_uniform); the matrix-free path folds
+/// fold * sum(P) into the rises per Picard iteration. Both routes go through
+/// this helper, so the two influence modes cannot drift apart — the
+/// equivalence is pinned by tests.
+[[nodiscard]] double boundary_fold_resistance(const CosimOptions& opts);
 
 /// Builds the thermal backend `opts` selects, configured for `die`. The one
 /// place that maps the user-facing enum onto concrete solver types — every
@@ -101,8 +118,9 @@ class ElectroThermalSolver {
 
   /// The influence-apply seam the Picard loop iterates through: dense in
   /// Dense mode (and on dense-only backends), the backend's matrix-free
-  /// operator otherwise. In matrix-free mode r_package is NOT inside the
-  /// operator — solve() folds it in analytically as r_pkg * sum(P).
+  /// operator otherwise. In matrix-free mode the boundary fold (r_package +
+  /// stack RC resistance) is NOT inside the operator — solve() folds it in
+  /// analytically as boundary_fold_resistance(opts) * sum(P).
   [[nodiscard]] const thermal::InfluenceApply& influence_apply() const noexcept;
 
   /// Whether solve() runs matrix-free (no dense matrix was built).

@@ -62,11 +62,25 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
   backend_opts.backend = opts.backend;
   backend_opts.fdm = opts.fdm;
   backend_opts.spectral = opts.spectral;
+  backend_opts.stack = opts.stack;
   const auto backend = make_thermal_backend(fp.die(), backend_opts);
   PTHERM_REQUIRE(backend->supports_transient(),
                  "transient cosim: selected thermal backend cannot integrate in time");
   const auto state = backend->make_transient_state();
   std::vector<thermal::HeatSource> sources = fp.heat_sources(tech);
+
+  // Dynamic package boundary: with an RC-network closure the case plane the
+  // conduction operator grounds to is itself a state, advanced exactly once
+  // per step under the total die power and added uniformly to every block
+  // readback. The constant-sink legacy path is pkg == nullptr (case_rise
+  // stays 0).
+  const thermal::PackageRcNetwork* pkg =
+      (opts.stack && opts.stack->boundary().kind == thermal::BoundaryKind::RcNetwork)
+          ? &*opts.stack->boundary().rc
+          : nullptr;
+  thermal::PackageRcNetwork::State pkg_state;
+  if (pkg) pkg_state = pkg->make_state();
+  double case_rise = 0.0;
 
   TransientCosimResult result;
   // Whole steps that fit, plus one clamped step for any remainder. The
@@ -91,6 +105,7 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
     result.block_temps.push_back(temps);
     result.leakage_power.push_back(p_leak);
     result.dynamic_power.push_back(p_dyn);
+    result.case_rise.push_back(case_rise);
   };
 
   // Epoch powers: evaluated by the hook at each epoch boundary (from the
@@ -124,6 +139,10 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
     const double h = last ? opts.t_stop - s * opts.dt : opts.dt;
     if (s > 0 && s % k == 0) update_powers(s / k, s * opts.dt);
     result.total_cg_iterations += backend->step_transient(*state, h, sources);
+    // The package sees the total die power, held constant over the step —
+    // the same piecewise-constant contract as the conduction backends, so
+    // the exact exponential update applies.
+    if (pkg) case_rise = pkg->advance(pkg_state, h, sum_dyn + sum_leak);
     // Temperatures are only read back where someone consumes them: at
     // recorded steps and at epoch boundaries (the next hook call). Interior
     // steps of an epoch skip the gather entirely — with power_update_every
@@ -133,7 +152,9 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
     const bool epoch_boundary = !last && (s + 1) % k == 0;
     if (record_now || epoch_boundary) {
       state->surface_rises(centres, rises);
-      for (std::size_t i = 0; i < n; ++i) temps[i] = t_sink + rises[i];
+      // case_rise is 0.0 without a package network, so the legacy readback
+      // t_sink + rises[i] is preserved exactly.
+      for (std::size_t i = 0; i < n; ++i) temps[i] = t_sink + case_rise + rises[i];
     }
     if (record_now) record(last ? opts.t_stop : (s + 1) * opts.dt, sum_leak, sum_dyn);
   }

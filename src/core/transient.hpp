@@ -58,6 +58,15 @@ struct TransientCosimOptions {
   /// backend an interior step collapses to the pure mode-decay update,
   /// which is what makes million-step DVFS traces affordable.
   int power_update_every = 1;
+  /// Die stack (thermal/stack.hpp) for the conduction problem; unset keeps
+  /// the classic single-die problem. When the stack's boundary is an
+  /// attached RC package network, the case temperature becomes a DYNAMIC
+  /// state of this co-simulation: the network is advanced exactly once per
+  /// step under the total die power, and every block temperature reads
+  /// t_sink + case_rise + on-die rise — so leakage, and any control policy
+  /// riding the PowerUpdateHook, feel the package/heatsink time constants.
+  /// The constant-sink legacy behaviour is the zero-capacity limit.
+  std::optional<thermal::DieStack> stack;
 };
 
 /// Throws ptherm::PreconditionError on an unusable time grid
@@ -73,6 +82,9 @@ struct TransientCosimResult {
   std::vector<double> leakage_power;
   /// Total dynamic power at each recorded time [W].
   std::vector<double> dynamic_power;
+  /// Package case rise above ambient at each recorded time [K]; all zeros
+  /// unless the options carried a stack with an RC-network boundary.
+  std::vector<double> case_rise;
   /// Total inner backend iterations across all steps. The name is
   /// historical: on the FDM backend these are CG iterations; other backends
   /// report their own unit of inner work (spectral: one exact mode-space

@@ -1,0 +1,224 @@
+#include "numerics/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ptherm::numerics {
+
+std::vector<double> tridiagonal_eigenvalues(std::span<const double> diag,
+                                            std::span<const double> off) {
+  const std::size_t n = diag.size();
+  PTHERM_REQUIRE(n >= 1, "tridiagonal_eigenvalues: empty matrix");
+  PTHERM_REQUIRE(off.size() + 1 == n || (n == 1 && off.empty()),
+                 "tridiagonal_eigenvalues: off-diagonal must have n - 1 entries");
+  std::vector<double> d(diag.begin(), diag.end());
+  if (n == 1) return d;
+  // e is shifted down one slot relative to the classic Fortran convention:
+  // e[i] couples rows i and i + 1; e[n - 1] is the zero sentinel the sweep
+  // below reads past the active block.
+  std::vector<double> e(off.begin(), off.end());
+  e.push_back(0.0);
+
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    for (;;) {
+      // Find the first negligible off-diagonal at or after l: the block
+      // [l, m] is the unreduced piece still being worked on.
+      std::size_t m = l;
+      while (m + 1 < n) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= eps * dd) break;
+        ++m;
+      }
+      if (m == l) break;  // d[l] converged
+      PTHERM_REQUIRE(++iterations <= 64,
+                     "tridiagonal_eigenvalues: implicit QL failed to converge");
+      // Wilkinson shift from the leading 2x2 of the block.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool underflow = false;
+      for (std::size_t ii = m; ii-- > l;) {
+        double f = s * e[ii];
+        const double b = c * e[ii];
+        r = std::hypot(f, g);
+        e[ii + 1] = r;
+        if (r == 0.0) {
+          // Rotation annihilated prematurely: deflate and restart the sweep.
+          d[ii + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[ii + 1] - p;
+        r = (d[ii] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[ii + 1] = g + p;
+        g = c * r - b;
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+std::vector<double> tridiagonal_smallest_eigenvalues(std::span<const double> diag,
+                                                     std::span<const double> off,
+                                                     std::size_t count) {
+  const std::size_t n = diag.size();
+  PTHERM_REQUIRE(n >= 1, "tridiagonal_smallest_eigenvalues: empty matrix");
+  PTHERM_REQUIRE(off.size() + 1 == n || (n == 1 && off.empty()),
+                 "tridiagonal_smallest_eigenvalues: off-diagonal must have n - 1 entries");
+  PTHERM_REQUIRE(count >= 1 && count <= n,
+                 "tridiagonal_smallest_eigenvalues: count must lie in [1, n]");
+  if (n == 1) return {diag[0]};
+
+  // Gershgorin bracket for the whole spectrum, and squared couplings for
+  // the Sturm recurrence.
+  std::vector<double> e2(n - 1);
+  double lo = diag[0];
+  double hi = diag[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = 0.0;
+    if (i > 0) r += std::abs(off[i - 1]);
+    if (i + 1 < n) r += std::abs(off[i]);
+    lo = std::min(lo, diag[i] - r);
+    hi = std::max(hi, diag[i] + r);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) e2[i] = off[i] * off[i];
+
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  const double scale = std::max({std::abs(lo), std::abs(hi), 1.0});
+  const double pivmin = scale * eps * eps;
+  // Number of eigenvalues strictly below x, by counting negative pivots of
+  // the LDL^T factorization of T - x I.
+  const auto sturm_count = [&](double x) {
+    std::size_t negatives = 0;
+    double q = diag[0] - x;
+    if (std::abs(q) < pivmin) q = -pivmin;
+    if (q < 0.0) ++negatives;
+    for (std::size_t i = 1; i < n; ++i) {
+      q = diag[i] - x - e2[i - 1] / q;
+      if (std::abs(q) < pivmin) q = -pivmin;
+      if (q < 0.0) ++negatives;
+    }
+    return negatives;
+  };
+
+  std::vector<double> evals(count);
+  double floor_k = lo;
+  for (std::size_t k = 0; k < count; ++k) {
+    // Bisect for the smallest x with at least k + 1 eigenvalues below it;
+    // eigenvalues are found in ascending order, so the previous one is a
+    // valid lower bound for the next (multiplicity included).
+    double a = floor_k;
+    double b = hi;
+    while (b - a > 2.0 * eps * std::max({std::abs(a), std::abs(b), 1.0})) {
+      const double mid = 0.5 * (a + b);
+      if (mid <= a || mid >= b) break;  // bracket at rounding resolution
+      if (sturm_count(mid) >= k + 1) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    evals[k] = 0.5 * (a + b);
+    floor_k = a;
+  }
+  return evals;
+}
+
+std::vector<double> tridiagonal_eigenvector(std::span<const double> diag,
+                                            std::span<const double> off, double lambda) {
+  const std::size_t n = diag.size();
+  PTHERM_REQUIRE(n >= 1, "tridiagonal_eigenvector: empty matrix");
+  PTHERM_REQUIRE(off.size() + 1 == n || (n == 1 && off.empty()),
+                 "tridiagonal_eigenvector: off-diagonal must have n - 1 entries");
+  if (n == 1) return {1.0};
+
+  // Scale for the singularity guard: a pivot of exactly zero (lambda hit the
+  // eigenvalue to full precision) is replaced by a tiny multiple of the
+  // matrix norm, which is the standard inverse-iteration trick — the solve
+  // then returns a huge, eigenvector-dominated iterate in one step.
+  double norm = 0.0;
+  for (double v : diag) norm = std::max(norm, std::abs(v));
+  for (double v : off) norm = std::max(norm, std::abs(v));
+  if (norm == 0.0) norm = 1.0;
+  const double tiny = norm * std::numeric_limits<double>::epsilon() *
+                      std::numeric_limits<double>::epsilon();
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> a(n);      // subdiagonal of the working copy
+  std::vector<double> b(n);      // diagonal
+  std::vector<double> c(n);      // superdiagonal
+  std::vector<double> c2(n);     // second superdiagonal (pivoting fill-in)
+  std::vector<bool> swapped(n);  // row-interchange record
+
+  // Two sweeps: the first lands on the eigenvector direction, the second
+  // polishes it (and is essentially free).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = (i > 0) ? off[i - 1] : 0.0;
+      b[i] = diag[i] - lambda;
+      c[i] = (i + 1 < n) ? off[i] : 0.0;
+      c2[i] = 0.0;
+    }
+    std::vector<double> y = x;
+    // Forward elimination with partial pivoting.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (std::abs(a[i + 1]) > std::abs(b[i])) {
+        std::swap(b[i], a[i + 1]);
+        std::swap(c[i], b[i + 1]);
+        std::swap(c2[i], c[i + 1]);
+        std::swap(y[i], y[i + 1]);
+        swapped[i] = true;
+      } else {
+        swapped[i] = false;
+      }
+      if (b[i] == 0.0) b[i] = tiny;
+      const double factor = a[i + 1] / b[i];
+      b[i + 1] -= factor * c[i];
+      c[i + 1] -= factor * c2[i];
+      y[i + 1] -= factor * y[i];
+    }
+    if (b[n - 1] == 0.0) b[n - 1] = tiny;
+    // Back substitution.
+    x[n - 1] = y[n - 1] / b[n - 1];
+    if (n >= 2) {
+      x[n - 2] = (y[n - 2] - c[n - 2] * x[n - 1]) / b[n - 2];
+      for (std::size_t i = n - 2; i-- > 0;) {
+        x[i] = (y[i] - c[i] * x[i + 1] - c2[i] * x[i + 2]) / b[i];
+      }
+    }
+    double len = 0.0;
+    for (double v : x) len += v * v;
+    len = std::sqrt(len);
+    PTHERM_REQUIRE(len > 0.0, "tridiagonal_eigenvector: inverse iteration collapsed");
+    for (double& v : x) v /= len;
+  }
+  // Deterministic sign: first component of non-negligible magnitude positive.
+  for (double v : x) {
+    if (std::abs(v) > 1e-12) {
+      if (v < 0.0) {
+        for (double& w : x) w = -w;
+      }
+      break;
+    }
+  }
+  return x;
+}
+
+}  // namespace ptherm::numerics

@@ -1,0 +1,42 @@
+// Symmetric tridiagonal eigensolvers: implicit-shift QL for the spectrum
+// (no eigenvector accumulation — O(n^2) total), Sturm-sequence bisection
+// for just the bottom of the spectrum, plus inverse iteration for the few
+// eigenvectors a caller actually needs. This split is what the layered
+// thermal solvers want: the z-stack modal reduction solves one small
+// tridiagonal eigenproblem per lateral mode but keeps only the handful of
+// slowest z-modes, so paying a full spectrum — let alone O(n^3) for an
+// eigenvector matrix — per mode would dominate the entire transient setup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ptherm::numerics {
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `diag`
+/// (n entries) and off-diagonal `off` (n - 1 entries), sorted ascending.
+/// Implicit-shift QL; throws ptherm::Error if an eigenvalue fails to
+/// converge (does not happen for real symmetric input).
+[[nodiscard]] std::vector<double> tridiagonal_eigenvalues(std::span<const double> diag,
+                                                          std::span<const double> off);
+
+/// The `count` smallest eigenvalues of the same matrix, sorted ascending,
+/// by Sturm-sequence bisection. Each eigenvalue costs O(n) per bisection
+/// step and the steps never touch the rest of the spectrum, so this is the
+/// right call when only a few bottom modes matter — the layered z-stack
+/// reduction asks for modes_z of layered_nz eigenvalues once per lateral
+/// mode, where a full QL sweep per mode would dominate transient setup.
+[[nodiscard]] std::vector<double> tridiagonal_smallest_eigenvalues(
+    std::span<const double> diag, std::span<const double> off, std::size_t count);
+
+/// Unit-norm eigenvector of the same matrix for the (converged) eigenvalue
+/// `lambda`, by inverse iteration: factor (T - lambda I) with partial
+/// pivoting, iterate from a uniform start, normalize. Eigenvalues of an
+/// unreduced symmetric tridiagonal matrix are simple, so the iteration
+/// converges in one or two sweeps; the sign is fixed so the first nonzero
+/// component is positive (deterministic across platforms).
+[[nodiscard]] std::vector<double> tridiagonal_eigenvector(std::span<const double> diag,
+                                                          std::span<const double> off,
+                                                          double lambda);
+
+}  // namespace ptherm::numerics

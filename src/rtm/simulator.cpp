@@ -108,6 +108,7 @@ RtmResult run_rtm(const device::Technology& tech, const floorplan::Floorplan& fp
   cosim.backend = opts.backend;
   cosim.fdm = opts.fdm;
   cosim.spectral = opts.spectral;
+  cosim.stack = opts.stack;
   cosim.dt = opts.dt;
   cosim.t_stop = static_cast<double>(epochs) * epoch_dt;
   cosim.vb = opts.vb;

@@ -36,6 +36,11 @@ struct RtmOptions {
   SensorOptions sensor;      ///< seed/quantization/noise/latency of the sensors
   /// Record a timeline row every `record_every` epochs (0 = metrics only).
   int record_every = 0;
+  /// Die stack for the plant (thermal/stack.hpp); unset keeps the classic
+  /// single-die problem. An RC-network boundary makes the heatsink a dynamic
+  /// state of the plant: sensed temperatures include the case rise, so
+  /// policies feel (and must fight) the package time constants.
+  std::optional<thermal::DieStack> stack;
 };
 
 /// Run-level metrics. All temperature metrics are TRUE block temperatures

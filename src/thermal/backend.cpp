@@ -150,6 +150,9 @@ class FdmTransientState final : public SolverBackend::TransientState {
 
 FdmBackend::FdmBackend(Die die, FdmOptions opts) : solver_(die, opts) {}
 
+FdmBackend::FdmBackend(Die die, DieStack stack, FdmOptions opts)
+    : solver_(die, std::move(stack), opts) {}
+
 std::vector<double> FdmBackend::surface_rises(const std::vector<HeatSource>& sources,
                                               std::span<const SurfaceSample> points) const {
   const auto sol = solver_.solve_steady(sources);
@@ -307,6 +310,11 @@ class SpectralInfluenceApply final : public InfluenceApply {
 }  // namespace
 
 SpectralBackend::SpectralBackend(Die die, SpectralOptions opts) : solver_(die, opts) {
+  stats_.modes = solver_.mode_count();
+}
+
+SpectralBackend::SpectralBackend(Die die, DieStack stack, SpectralOptions opts)
+    : solver_(die, std::move(stack), opts) {
   stats_.modes = solver_.mode_count();
 }
 

@@ -163,6 +163,9 @@ class AnalyticImagesBackend final : public SolverBackend {
 class FdmBackend final : public SolverBackend {
  public:
   FdmBackend(Die die, FdmOptions opts = {});
+  /// Layered z-grid over a die stack (thermal/stack.hpp); trivial stacks
+  /// reproduce the single-die grid bitwise.
+  FdmBackend(Die die, DieStack stack, FdmOptions opts = {});
 
   [[nodiscard]] std::string_view name() const noexcept override { return "fdm"; }
   [[nodiscard]] const Die& die() const noexcept override { return solver_.die(); }
@@ -192,6 +195,10 @@ class FdmBackend final : public SolverBackend {
 class SpectralBackend final : public SolverBackend {
  public:
   SpectralBackend(Die die, SpectralOptions opts = {});
+  /// Layered transfer matrices over a die stack (thermal/stack.hpp); trivial
+  /// stacks reproduce the single-die solver bitwise. The matrix-free
+  /// influence path and the transient integrator both work layered.
+  SpectralBackend(Die die, DieStack stack, SpectralOptions opts = {});
 
   [[nodiscard]] std::string_view name() const noexcept override { return "spectral"; }
   [[nodiscard]] const Die& die() const noexcept override { return solver_.die(); }

@@ -16,18 +16,82 @@ FdmThermalSolver::FdmThermalSolver(Die die, FdmOptions opts) : die_(die), opts_(
   dy_ = die_.height / opts_.ny;
   dz_ = die_.thickness / opts_.nz;
   cell_capacitance_ = opts_.cv * dx_ * dy_ * dz_;
+  dz_z_.assign(static_cast<std::size_t>(opts_.nz), dz_);
+  k_z_.assign(static_cast<std::size_t>(opts_.nz), die_.k_si);
+  cv_z_.assign(static_cast<std::size_t>(opts_.nz), opts_.cv);
+  init_z_column();
   assemble();
 }
 
+FdmThermalSolver::FdmThermalSolver(Die die, DieStack stack, FdmOptions opts)
+    : die_(die), opts_(opts), stack_(std::move(stack)) {
+  PTHERM_REQUIRE(opts_.nx >= 2 && opts_.ny >= 2 && opts_.nz >= 2, "FDM: grid too small");
+  PTHERM_REQUIRE(die_.width > 0.0 && die_.height > 0.0, "FDM: degenerate die");
+  PTHERM_REQUIRE(opts_.nz >= static_cast<int>(stack_->layer_count()),
+                 "FDM: nz must cover every stack layer");
+  dx_ = die_.width / opts_.nx;
+  dy_ = die_.height / opts_.ny;
+  layered_ = !stack_->reduces_to(die_);
+  const auto cells = distribute_stack_cells(*stack_, opts_.nz);
+  for (std::size_t l = 0; l < stack_->layer_count(); ++l) {
+    const StackLayer& layer = stack_->layers()[l];
+    const double dz = layer.thickness / cells[l];
+    for (int c = 0; c < cells[l]; ++c) {
+      dz_z_.push_back(dz);
+      k_z_.push_back(layer.k);
+      cv_z_.push_back(layer.cv);
+    }
+  }
+  // A trivial stack lands on the legacy uniform grid: one layer, nz equal
+  // cells, die materials — the same dz/k/cv column the other constructor
+  // builds, so the stamped matrix is bitwise identical.
+  dz_ = dz_z_.front();
+  cell_capacitance_ = cv_z_.front() * dx_ * dy_ * dz_z_.front();
+  init_z_column();
+  assemble();
+}
+
+void FdmThermalSolver::init_z_column() {
+  cap_z_.resize(dz_z_.size());
+  z_centre_.resize(dz_z_.size());
+  double top = 0.0;
+  for (std::size_t kz = 0; kz < dz_z_.size(); ++kz) {
+    cap_z_[kz] = cv_z_[kz] * dx_ * dy_ * dz_z_[kz];
+    z_centre_[kz] = top + 0.5 * dz_z_[kz];
+    top += dz_z_[kz];
+  }
+}
+
 void FdmThermalSolver::stamp_conduction(numerics::SparseBuilder& builder) const {
-  const double k = die_.k_si;
   // Conductances between adjacent cell centres: G = k * A / d; half-cell
-  // link (2G) to an isothermal boundary plane.
-  const double gx = k * dy_ * dz_ / dx_;
-  const double gy = k * dx_ * dz_ / dy_;
-  const double gz = k * dx_ * dy_ / dz_;
+  // link (2G) to an isothermal boundary plane. Equal-material vertical
+  // neighbours keep the exact legacy expression (bitwise-identical matrices
+  // on the uniform grid); dissimilar neighbours use the harmonic series of
+  // the two half cells.
+  const std::size_t nzc = dz_z_.size();
+  std::vector<double> gz_link(nzc > 1 ? nzc - 1 : 0);
+  for (std::size_t kz = 0; kz + 1 < nzc; ++kz) {
+    if (k_z_[kz] == k_z_[kz + 1] && dz_z_[kz] == dz_z_[kz + 1]) {
+      gz_link[kz] = k_z_[kz] * dx_ * dy_ / dz_z_[kz];
+    } else {
+      gz_link[kz] = dx_ * dy_ / (dz_z_[kz] / (2.0 * k_z_[kz]) +
+                                 dz_z_[kz + 1] / (2.0 * k_z_[kz + 1]));
+    }
+  }
+  // Bottom closure: Dirichlet sink plane (half-cell conductance to ground)
+  // unless the stack ends in a convective film, which sits in series with
+  // the bottom half cell.
+  const double gz_bottom_full = k_z_[nzc - 1] * dx_ * dy_ / dz_z_[nzc - 1];
+  const bool convective = stack_ && !stack_->isothermal_operator_boundary();
+  const double g_bottom =
+      convective ? dx_ * dy_ / (dz_z_[nzc - 1] / (2.0 * k_z_[nzc - 1]) +
+                                1.0 / stack_->boundary().h)
+                 : 2.0 * gz_bottom_full;
   const bool iso_side = opts_.lateral == LateralBoundary::Isothermal;
   for (int kz = 0; kz < opts_.nz; ++kz) {
+    const std::size_t zi = static_cast<std::size_t>(kz);
+    const double gx = k_z_[zi] * dy_ * dz_z_[zi] / dx_;
+    const double gy = k_z_[zi] * dx_ * dz_z_[zi] / dy_;
     for (int j = 0; j < opts_.ny; ++j) {
       for (int i = 0; i < opts_.nx; ++i) {
         const std::size_t c = cell_index(i, j, kz);
@@ -40,11 +104,10 @@ void FdmThermalSolver::stamp_conduction(numerics::SparseBuilder& builder) const 
         if (i + 1 < opts_.nx) couple(cell_index(i + 1, j, kz), gx);
         if (j > 0) couple(cell_index(i, j - 1, kz), gy);
         if (j + 1 < opts_.ny) couple(cell_index(i, j + 1, kz), gy);
-        if (kz > 0) couple(cell_index(i, j, kz - 1), gz);
-        if (kz + 1 < opts_.nz) couple(cell_index(i, j, kz + 1), gz);
-        // Top (kz == 0) is adiabatic — no term. Bottom is Dirichlet at the
-        // sink (rise = 0): half-cell conductance to ground.
-        if (kz + 1 == opts_.nz) diag += 2.0 * gz;
+        if (kz > 0) couple(cell_index(i, j, kz - 1), gz_link[zi - 1]);
+        if (kz + 1 < opts_.nz) couple(cell_index(i, j, kz + 1), gz_link[zi]);
+        // Top (kz == 0) is adiabatic — no term.
+        if (kz + 1 == opts_.nz) diag += g_bottom;
         if (iso_side) {
           if (i == 0) diag += 2.0 * gx;
           if (i + 1 == opts_.nx) diag += 2.0 * gx;
@@ -158,11 +221,15 @@ int FdmThermalSolver::step_transient(std::vector<double>& rise, double dt,
   // (C/dt * I + A) T^{n+1} = C/dt * T^n + q. The shifted operator depends
   // only on dt; transient drivers step with a fixed dt thousands of times,
   // so it is cached (with its IC factor) and reassembled only when dt moves.
+  // The capacitance follows the local material per z-layer (uniform — the
+  // legacy cell_capacitance_ — on a single-die grid).
   const std::size_t n = cell_count();
-  const double c_over_dt = cell_capacitance_ / dt;
+  const std::size_t slab = static_cast<std::size_t>(opts_.nx) * opts_.ny;
+  std::vector<double> c_over_dt_z(dz_z_.size());
+  for (std::size_t kz = 0; kz < dz_z_.size(); ++kz) c_over_dt_z[kz] = cap_z_[kz] / dt;
   if (!transient_cache_.valid || transient_cache_.dt != dt) {
     numerics::SparseBuilder builder(n, n);
-    for (std::size_t c = 0; c < n; ++c) builder.add(c, c, c_over_dt);
+    for (std::size_t c = 0; c < n; ++c) builder.add(c, c, c_over_dt_z[c / slab]);
     stamp_conduction(builder);
     transient_cache_.matrix = numerics::CsrMatrix(builder);
     transient_cache_.ic.reset();
@@ -192,7 +259,7 @@ int FdmThermalSolver::step_transient(std::vector<double>& rise, double dt,
     ++power_updates_;
   }
   std::vector<double> rhs = transient_rhs_;
-  for (std::size_t c = 0; c < n; ++c) rhs[c] += c_over_dt * rise[c];
+  for (std::size_t c = 0; c < n; ++c) rhs[c] += c_over_dt_z[c / slab] * rise[c];
   const auto cg =
       numerics::conjugate_gradient(transient_cache_.matrix, rhs, opts_.cg, rise,
                                    transient_cache_.ic ? &*transient_cache_.ic : nullptr);

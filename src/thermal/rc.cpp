@@ -5,9 +5,80 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "numerics/eigen.hpp"
 #include "numerics/ode.hpp"
 
 namespace ptherm::thermal {
+
+void validate(const ThermalRc& rc) {
+  PTHERM_REQUIRE(rc.r_th > 0.0, "ThermalRc: r_th must be > 0");
+  PTHERM_REQUIRE(rc.c_th > 0.0, "ThermalRc: c_th must be > 0");
+}
+
+PackageRcNetwork::PackageRcNetwork(std::vector<ThermalRc> stages)
+    : stages_(std::move(stages)) {
+  PTHERM_REQUIRE(!stages_.empty(), "PackageRcNetwork: need at least one stage");
+  for (const ThermalRc& stage : stages_) validate(stage);
+  const std::size_t n = stages_.size();
+  // Conductance ladder G (tridiagonal): node i couples to node i + 1 through
+  // 1/r_i, the last node to ambient through 1/r_{n-1}. Symmetrize with
+  // C^{-1/2} so the modal reduction is a symmetric tridiagonal eigenproblem.
+  std::vector<double> diag(n);
+  std::vector<double> off(n >= 1 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double g = 1.0 / stages_[i].r_th;
+    if (i > 0) g += 1.0 / stages_[i - 1].r_th;
+    diag[i] = g / stages_[i].c_th;
+    if (i + 1 < n) {
+      off[i] = -1.0 / (stages_[i].r_th * std::sqrt(stages_[i].c_th * stages_[i + 1].c_th));
+    }
+  }
+  lambda_ = numerics::tridiagonal_eigenvalues(diag, off);
+  gain_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    PTHERM_REQUIRE(lambda_[p] > 0.0, "PackageRcNetwork: ladder is not dissipative");
+    const auto u = numerics::tridiagonal_eigenvector(diag, off, lambda_[p]);
+    // Case-referred modal machinery: with amp_p := u0c_p * z_p the update is
+    // amp' = -lambda amp + P * u0c^2, so the steady case rise per watt of
+    // mode p is u0c^2 / lambda — and the gains sum to (G^{-1})_00, the total
+    // ladder resistance (tested).
+    const double u0c = u[0] / std::sqrt(stages_[0].c_th);
+    gain_[p] = u0c * u0c / lambda_[p];
+  }
+}
+
+double PackageRcNetwork::total_resistance() const noexcept {
+  double r = 0.0;
+  for (const ThermalRc& stage : stages_) r += stage.r_th;
+  return r;
+}
+
+PackageRcNetwork::State PackageRcNetwork::make_state() const {
+  State state;
+  state.amps.assign(stages_.size(), 0.0);
+  return state;
+}
+
+double PackageRcNetwork::advance(State& state, double h, double power) const {
+  PTHERM_REQUIRE(h > 0.0, "PackageRcNetwork::advance: h must be positive");
+  PTHERM_REQUIRE(state.amps.size() == stages_.size(),
+                 "PackageRcNetwork::advance: state belongs to a different network");
+  if (state.decay_h != h || state.decay.size() != lambda_.size()) {
+    state.decay.resize(lambda_.size());
+    for (std::size_t p = 0; p < lambda_.size(); ++p) {
+      state.decay[p] = std::exp(-lambda_[p] * h);
+    }
+    state.decay_h = h;
+  }
+  double rise = 0.0;
+  for (std::size_t p = 0; p < state.amps.size(); ++p) {
+    const double d = state.decay[p];
+    state.amps[p] = state.amps[p] * d + power * gain_[p] * (1.0 - d);
+    rise += state.amps[p];
+  }
+  state.case_rise = rise;
+  return rise;
+}
 
 double device_r_th(double k_si, double w, double l, double thickness) noexcept {
   const double direct = rect_center_rise(k_si, 1.0, w, l);
@@ -38,7 +109,7 @@ bool chop_on(double t, double f, double duty) {
 }  // namespace
 
 SelfHeatingTrace run_self_heating(const SelfHeatingConfig& cfg) {
-  PTHERM_REQUIRE(cfg.rc.r_th > 0.0 && cfg.rc.c_th > 0.0, "run_self_heating: RC not set");
+  validate(cfg.rc);
   PTHERM_REQUIRE(cfg.dt > 0.0 && cfg.t_stop > cfg.dt, "run_self_heating: bad time grid");
 
   auto current_at = [&](double temp) {

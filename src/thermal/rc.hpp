@@ -1,12 +1,22 @@
-// Compact thermal RC for single devices: the paper's Fig. 9/10 experiment.
+// Compact thermal RC networks: the paper's Fig. 9/10 single-device
+// experiment, and the Cauer-ladder package/heatsink closure the die stacks
+// (thermal/stack.hpp) attach below their bottom layer.
 //
-// The measurement chops a transistor ON/OFF at 3 Hz and watches the drain
-// current (linear in temperature for small excursions) charge the device's
-// thermal capacitance; the thermal resistance is Rth = dT_steady / P. We
-// rebuild the experiment: Rth comes from the analytic centre-rise model
-// (Eq. 18, plus the sink-plane image), Cth from a lumped heated volume, and
-// the transient integrates the electro-thermal feedback
+// The Fig. 9 measurement chops a transistor ON/OFF at 3 Hz and watches the
+// drain current (linear in temperature for small excursions) charge the
+// device's thermal capacitance; the thermal resistance is Rth = dT_steady /
+// P. We rebuild the experiment: Rth comes from the analytic centre-rise
+// model (Eq. 18, plus the sink-plane image), Cth from a lumped heated
+// volume, and the transient integrates the electro-thermal feedback
 //   Cth dT'/dt = P(T) * chop(t) - T'/Rth,  P(T) = V*I0*(1 - tc*(T - Tamb)).
+//
+// PackageRcNetwork promotes the same {Rth, Cth} stage into a load-bearing
+// compact package model (the VHDL-AMS compact-thermal-modeling idea): a
+// Cauer ladder from the die attach (case) down to ambient whose case
+// temperature is a dynamic state the transient co-simulation advances
+// alongside the die — the "constant sink temperature" then becomes the
+// zero-capacity limit, and the steady case rise is exactly
+// total_resistance() * P, the scalar r_package fold.
 #pragma once
 
 #include <vector>
@@ -15,11 +25,68 @@
 
 namespace ptherm::thermal {
 
-/// Lumped thermal resistance + capacitance of one device.
+/// Lumped thermal resistance + capacitance of one device (or one Cauer
+/// stage of a package network).
 struct ThermalRc {
   double r_th = 0.0;  ///< [K/W]
   double c_th = 0.0;  ///< [J/K]
   [[nodiscard]] double tau() const noexcept { return r_th * c_th; }
+};
+
+/// Throws ptherm::PreconditionError unless both R and C are positive —
+/// every load-bearing consumer (PackageRcNetwork, run_self_heating)
+/// validates its stages through here.
+void validate(const ThermalRc& rc);
+
+/// Cauer-ladder package/heatsink model: stage i places capacitance
+/// stages[i].c_th at node i and resistance stages[i].r_th from node i to
+/// node i + 1; node 0 is the case (die attach) and the last resistor lands
+/// on ambient. Temperatures are rises above ambient.
+///
+/// The linear ODE  C dθ/dt = -G θ + P e₀  is advanced EXACTLY for
+/// piecewise-constant power via the eigendecomposition of the symmetrized
+/// conductance ladder (numerics/eigen.hpp): each modal amplitude obeys
+/// a scalar exponential update, so accuracy does not depend on the step
+/// size and one h-step equals k sub-steps to rounding — the same contract
+/// the spectral transient integrator offers, which is what lets the
+/// transient cosim advance the package once per step at O(stages) cost.
+class PackageRcNetwork {
+ public:
+  /// Validates every stage (positive R and C) at construction.
+  explicit PackageRcNetwork(std::vector<ThermalRc> stages);
+
+  [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
+  [[nodiscard]] const std::vector<ThermalRc>& stages() const noexcept { return stages_; }
+
+  /// DC case-to-ambient resistance: the sum of the stage resistances. The
+  /// steady case rise under total power P is total_resistance() * P —
+  /// exactly the scalar r_package semantics, which is how the legacy option
+  /// stays a derived view of this network.
+  [[nodiscard]] double total_resistance() const noexcept;
+
+  /// Modal state of one transient run; starts at ambient (zero rise).
+  struct State {
+    std::vector<double> amps;  ///< case-referred modal amplitudes [K]
+    double case_rise = 0.0;    ///< case rise above ambient after last step [K]
+    double decay_h = 0.0;      ///< step size the decay cache is keyed by [s]
+    std::vector<double> decay;
+  };
+  [[nodiscard]] State make_state() const;
+
+  /// Advances the network by h seconds under total power `power` held
+  /// constant over the step; returns (and stores) the case rise. Exact for
+  /// piecewise-constant power.
+  double advance(State& state, double h, double power) const;
+
+  /// Steady case rise for constant power: total_resistance() * power.
+  [[nodiscard]] double steady_case_rise(double power) const noexcept {
+    return total_resistance() * power;
+  }
+
+ private:
+  std::vector<ThermalRc> stages_;
+  std::vector<double> lambda_;  ///< modal rates [1/s], ascending
+  std::vector<double> gain_;    ///< steady case rise per watt of mode p [K/W]
 };
 
 /// Analytic Rth of a W x L surface source on a substrate of thickness

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "numerics/dense.hpp"
+#include "numerics/eigen.hpp"
 #include "numerics/fft.hpp"
 
 namespace ptherm::thermal {
@@ -61,6 +62,62 @@ bool unit_flux_factors(const Die& die, const HeatSource& s, int modes_x, int mod
   return true;
 }
 
+/// Cyclic Jacobi eigensolver for a small dense symmetric matrix `a`
+/// (row-major, k x k): on return `a` is diagonal (eigenvalues, unsorted)
+/// and `v` holds the accumulated rotations column-wise, so eigenvalue
+/// a[p * k + p] belongs to eigenvector column p of v. Deterministic fixed
+/// sweep order; sized for the Ritz blocks of the layered transient setup
+/// (k ~ modes_z + 4), where its rotation count beats both a full QL sweep
+/// and division-chain bisection per lateral mode.
+void jacobi_eigen_small(std::vector<double>& a, std::vector<double>& v, std::size_t k) {
+  v.assign(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) v[i * k + i] = 1.0;
+  if (k < 2) return;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < k; ++i) scale = std::max(scale, std::abs(a[i * k + i]));
+  for (std::size_t p = 0; p + 1 < k; ++p) {
+    for (std::size_t q = p + 1; q < k; ++q) scale = std::max(scale, std::abs(a[p * k + q]));
+  }
+  if (scale == 0.0) return;
+  const double tol = scale * std::numeric_limits<double>::epsilon();
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off_max = 0.0;
+    for (std::size_t p = 0; p + 1 < k; ++p) {
+      for (std::size_t q = p + 1; q < k; ++q) off_max = std::max(off_max, std::abs(a[p * k + q]));
+    }
+    if (off_max <= tol) return;
+    for (std::size_t p = 0; p + 1 < k; ++p) {
+      for (std::size_t q = p + 1; q < k; ++q) {
+        const double apq = a[p * k + q];
+        if (std::abs(apq) <= tol) continue;
+        const double theta = (a[q * k + q] - a[p * k + p]) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Similarity update: columns p, q of A and V, then rows p, q of A.
+        for (std::size_t i = 0; i < k; ++i) {
+          const double aip = a[i * k + p];
+          const double aiq = a[i * k + q];
+          a[i * k + p] = c * aip - s * aiq;
+          a[i * k + q] = s * aip + c * aiq;
+          const double vip = v[i * k + p];
+          const double viq = v[i * k + q];
+          v[i * k + p] = c * vip - s * viq;
+          v[i * k + q] = s * vip + c * viq;
+        }
+        for (std::size_t j = 0; j < k; ++j) {
+          const double apj = a[p * k + j];
+          const double aqj = a[q * k + j];
+          a[p * k + j] = c * apj - s * aqj;
+          a[q * k + j] = s * apj + c * aqj;
+        }
+      }
+    }
+  }
+  PTHERM_REQUIRE(false, "jacobi_eigen_small: failed to converge");
+}
+
 }  // namespace
 
 SpectralThermalSolver::SpectralThermalSolver(Die die, SpectralOptions opts)
@@ -72,6 +129,57 @@ SpectralThermalSolver::SpectralThermalSolver(Die die, SpectralOptions opts)
                  "SpectralThermalSolver: need at least the DC mode per axis");
   PTHERM_REQUIRE(opts_.modes_z >= 1,
                  "SpectralThermalSolver: need at least one z-eigenfunction");
+  init_single_die();
+}
+
+SpectralThermalSolver::SpectralThermalSolver(Die die, DieStack stack, SpectralOptions opts)
+    : die_(die), opts_(opts), stack_(std::move(stack)) {
+  PTHERM_REQUIRE(die_.width > 0.0 && die_.height > 0.0,
+                 "SpectralThermalSolver: degenerate die");
+  PTHERM_REQUIRE(opts_.modes_x >= 1 && opts_.modes_y >= 1,
+                 "SpectralThermalSolver: need at least the DC mode per axis");
+  PTHERM_REQUIRE(opts_.modes_z >= 1,
+                 "SpectralThermalSolver: need at least one z-eigenfunction");
+  if (stack_->reduces_to(die_)) {
+    // The classic problem in stack clothing: keep the closed-form path so
+    // results stay bitwise identical to the single-die constructor.
+    init_single_die();
+    return;
+  }
+  layered_ = true;
+  PTHERM_REQUIRE(opts_.layered_nz >= static_cast<int>(stack_->layer_count()),
+                 "SpectralThermalSolver: layered_nz must cover every stack layer");
+  PTHERM_REQUIRE(opts_.layered_nz >= opts_.modes_z,
+                 "SpectralThermalSolver: layered_nz must admit modes_z z-modes");
+  const auto cells = distribute_stack_cells(*stack_, opts_.layered_nz);
+  for (std::size_t l = 0; l < stack_->layer_count(); ++l) {
+    const StackLayer& layer = stack_->layers()[l];
+    const double dz = layer.thickness / cells[l];
+    for (int c = 0; c < cells[l]; ++c) {
+      dz_z_.push_back(dz);
+      k_z_.push_back(layer.k);
+      cv_z_.push_back(layer.cv);
+    }
+  }
+  opts_.modes_z = std::min(opts_.modes_z, static_cast<int>(dz_z_.size()));
+  const std::size_t modes = static_cast<std::size_t>(mode_count());
+  transfer_.resize(modes);
+  g2_.resize(modes);
+  for (int n = 0; n < opts_.modes_y; ++n) {
+    const double gy = n * kPi / die_.height;
+    for (int m = 0; m < opts_.modes_x; ++m) {
+      const double gx = m * kPi / die_.width;
+      const double g = std::hypot(gx, gy);
+      const std::size_t mode = static_cast<std::size_t>(n) * opts_.modes_x + m;
+      transfer_[mode] = layered_transfer(g);
+      g2_[mode] = g * g;
+    }
+  }
+  // gain_/tail_/lambda_ wait for ensure_transient_modes(): steady-only users
+  // (influence columns, steady cosim) never pay the per-mode eigensolves.
+}
+
+void SpectralThermalSolver::init_single_die() {
   const double t = die_.thickness;
   const std::size_t modes = static_cast<std::size_t>(mode_count());
   const std::size_t mz = static_cast<std::size_t>(opts_.modes_z);
@@ -110,6 +218,210 @@ SpectralThermalSolver::SpectralThermalSolver(Die die, SpectralOptions opts)
     }
     tail_[mode] = transfer_[mode] - carried;
   }
+  transient_ready_ = true;
+}
+
+double SpectralThermalSolver::layered_transfer(double g) const {
+  const auto& layers = stack_->layers();
+  // Bottom-up impedance recursion, seeded at the boundary closure. All the
+  // growth lives in tanh (bounded), so g t in the hundreds is safe where the
+  // textbook cosh/sinh transfer-matrix product would overflow.
+  double z = (stack_->boundary().kind == BoundaryKind::Convective)
+                 ? 1.0 / stack_->boundary().h
+                 : 0.0;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    if (g == 0.0) {
+      z += it->thickness / it->k;
+      continue;
+    }
+    const double th = std::tanh(g * it->thickness);
+    z = (z + th / (it->k * g)) / (1.0 + z * it->k * g * th);
+  }
+  return z;
+}
+
+double SpectralThermalSolver::layered_depth_ratio(double g, double z) const {
+  const auto& layers = stack_->layers();
+  const std::size_t n = layers.size();
+  // Load impedance below each layer (at its bottom face), bottom-up.
+  std::vector<double> load(n);
+  double acc = (stack_->boundary().kind == BoundaryKind::Convective)
+                   ? 1.0 / stack_->boundary().h
+                   : 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    load[i] = acc;
+    if (g == 0.0) {
+      acc += layers[i].thickness / layers[i].k;
+    } else {
+      const double th = std::tanh(g * layers[i].thickness);
+      acc = (acc + th / (layers[i].k * g)) / (1.0 + acc * layers[i].k * g * th);
+    }
+  }
+  // Walk down from the surface, multiplying per-slab temperature ratios.
+  // Within a slab of thickness t with load Z_L at the bottom, theta(s) /
+  // theta(0) = (e^{-g s} + rho e^{-g (2t - s)}) / (1 + rho e^{-2 g t}) with
+  // the reflection coefficient rho = (Z_L - Z_c) / (Z_L + Z_c), Z_c =
+  // 1/(k g) — two-sided decaying exponentials, so no overflow and no
+  // cancellation blowup (|rho| <= 1).
+  double ratio = 1.0;
+  double top = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = layers[i].thickness;
+    const bool last = (z <= top + t) || (i + 1 == n);
+    const double s = last ? std::clamp(z - top, 0.0, t) : t;
+    if (g == 0.0) {
+      const double r_below = load[i] + t / layers[i].k;
+      ratio *= (load[i] + (t - s) / layers[i].k) / r_below;
+    } else {
+      const double zc = 1.0 / (layers[i].k * g);
+      const double rho = (load[i] - zc) / (load[i] + zc);
+      ratio *= (std::exp(-g * s) + rho * std::exp(-g * (2.0 * t - s))) /
+               (1.0 + rho * std::exp(-2.0 * g * t));
+    }
+    if (last) break;
+    top += t;
+  }
+  return ratio;
+}
+
+void SpectralThermalSolver::ensure_transient_modes() const {
+  if (transient_ready_) return;
+  const std::size_t nz = dz_z_.size();
+  const std::size_t mz = static_cast<std::size_t>(opts_.modes_z);
+  const std::size_t modes = static_cast<std::size_t>(mode_count());
+  // Per-unit-area capacitances and vertical conductances of the z-grid;
+  // half-cell harmonic coupling between neighbours, and the boundary
+  // closure folded into the bottom cell (isothermal plane — which is also
+  // how an attached RC network presents to the conduction operator — or a
+  // convective film in series with the bottom half-cell).
+  std::vector<double> cap(nz);
+  std::vector<double> gv(nz > 1 ? nz - 1 : 0);
+  for (std::size_t j = 0; j < nz; ++j) cap[j] = cv_z_[j] * dz_z_[j];
+  for (std::size_t j = 0; j + 1 < nz; ++j) {
+    gv[j] = 1.0 / (dz_z_[j] / (2.0 * k_z_[j]) + dz_z_[j + 1] / (2.0 * k_z_[j + 1]));
+  }
+  const double half_bottom = dz_z_[nz - 1] / (2.0 * k_z_[nz - 1]);
+  const double gb = stack_->isothermal_operator_boundary()
+                        ? 1.0 / half_bottom
+                        : 1.0 / (half_bottom + 1.0 / stack_->boundary().h);
+  // Symmetrized z-operator at g = 0: S = C^{-1/2} A C^{-1/2}. The lateral
+  // eigenvalue only enters the diagonal, as alpha_j g^2 with alpha_j =
+  // k_j / cv_j — so if every cell shares one diffusivity, S(g) = S(0) +
+  // alpha g^2 I and a single eigendecomposition serves all lateral modes.
+  std::vector<double> d0(nz);
+  std::vector<double> off(nz > 1 ? nz - 1 : 0);
+  for (std::size_t j = 0; j < nz; ++j) {
+    double a = (j + 1 == nz) ? gb : gv[j];
+    if (j > 0) a += gv[j - 1];
+    d0[j] = a / cap[j];
+    if (j + 1 < nz) off[j] = -gv[j] / std::sqrt(cap[j] * cap[j + 1]);
+  }
+  bool uniform_alpha = true;
+  const double alpha0 = k_z_[0] / cv_z_[0];
+  for (std::size_t j = 1; j < nz; ++j) {
+    if (k_z_[j] / cv_z_[j] != alpha0) {
+      uniform_alpha = false;
+      break;
+    }
+  }
+  lambda_.assign(modes * mz, 0.0);
+  gain_.assign(modes * mz, 0.0);
+  tail_.assign(modes, 0.0);
+  const double inv_sqrt_c0 = 1.0 / std::sqrt(cap[0]);
+  if (uniform_alpha) {
+    const auto evals = numerics::tridiagonal_smallest_eigenvalues(d0, off, mz);
+    std::vector<double> lam0(mz);
+    std::vector<double> u0c2(mz);
+    for (std::size_t p = 0; p < mz; ++p) {
+      lam0[p] = evals[p];
+      const auto u = numerics::tridiagonal_eigenvector(d0, off, evals[p]);
+      const double u0c = u[0] * inv_sqrt_c0;
+      u0c2[p] = u0c * u0c;
+    }
+    for (std::size_t mode = 0; mode < modes; ++mode) {
+      double carried = 0.0;
+      for (std::size_t p = 0; p < mz; ++p) {
+        const double lam = lam0[p] + alpha0 * g2_[mode];
+        PTHERM_REQUIRE(lam > 0.0, "spectral layered: z-operator is not dissipative");
+        lambda_[mode * mz + p] = lam;
+        const double gain = u0c2[p] / lam;
+        gain_[mode * mz + p] = gain;
+        carried += gain;
+      }
+      tail_[mode] = transfer_[mode] - carried;
+    }
+  } else {
+    // Rayleigh–Ritz over the bottom of S(0)'s spectrum. The whole operator
+    // family is S(g^2) = S(0) + g^2 diag(alpha_j), so one tridiagonal
+    // eigensolve of S(0) gives a kr-dimensional basis of its slowest modes,
+    // diag(alpha) projects into that basis once, and each of the ~modes_x *
+    // modes_y lateral modes then pays only a kr x kr Jacobi solve instead
+    // of an O(nz^2) sweep of the full z-grid. The carried (slow, surface-
+    // coupled) z-modes are exactly the ones the basis represents well; the
+    // modes it misses are fast and surface-decoupled, and their response —
+    // like everything else not carried — folds into the quasi-static tail,
+    // which keeps the steady limit exact by construction.
+    const std::size_t kr = std::min(nz, mz + 2);
+    const auto lam0 = numerics::tridiagonal_smallest_eigenvalues(d0, off, kr);
+    std::vector<double> basis(nz * kr);  // column-major: basis[j + nz * k]
+    for (std::size_t k = 0; k < kr; ++k) {
+      auto u = numerics::tridiagonal_eigenvector(d0, off, lam0[k]);
+      // Modified Gram–Schmidt polish: inverse-iteration vectors are
+      // orthogonal to residual tolerance only, and the Ritz projection
+      // wants a clean orthonormal basis.
+      for (std::size_t prev = 0; prev < k; ++prev) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < nz; ++j) dot += basis[j + nz * prev] * u[j];
+        for (std::size_t j = 0; j < nz; ++j) u[j] -= dot * basis[j + nz * prev];
+      }
+      double len = 0.0;
+      for (std::size_t j = 0; j < nz; ++j) len += u[j] * u[j];
+      len = std::sqrt(len);
+      PTHERM_REQUIRE(len > 0.0, "spectral layered: degenerate Ritz basis");
+      for (std::size_t j = 0; j < nz; ++j) basis[j + nz * k] = u[j] / len;
+    }
+    // B = U0^T diag(alpha) U0 and the basis' top-surface row.
+    std::vector<double> alpha_proj(kr * kr);
+    std::vector<double> top(kr);
+    for (std::size_t k = 0; k < kr; ++k) {
+      top[k] = basis[0 + nz * k];
+      for (std::size_t l = k; l < kr; ++l) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < nz; ++j) {
+          acc += (k_z_[j] / cv_z_[j]) * basis[j + nz * k] * basis[j + nz * l];
+        }
+        alpha_proj[k * kr + l] = acc;
+        alpha_proj[l * kr + k] = acc;
+      }
+    }
+    std::vector<double> ritz(kr * kr);
+    std::vector<double> vecs;
+    std::vector<std::size_t> order(kr);
+    for (std::size_t mode = 0; mode < modes; ++mode) {
+      for (std::size_t i = 0; i < kr * kr; ++i) ritz[i] = g2_[mode] * alpha_proj[i];
+      for (std::size_t k = 0; k < kr; ++k) ritz[k * kr + k] += lam0[k];
+      jacobi_eigen_small(ritz, vecs, kr);
+      for (std::size_t k = 0; k < kr; ++k) order[k] = k;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return ritz[a * kr + a] < ritz[b * kr + b];
+      });
+      double carried = 0.0;
+      for (std::size_t p = 0; p < mz; ++p) {
+        const std::size_t col = order[p];
+        const double lam = ritz[col * kr + col];
+        PTHERM_REQUIRE(lam > 0.0, "spectral layered: z-operator is not dissipative");
+        lambda_[mode * mz + p] = lam;
+        double u0 = 0.0;
+        for (std::size_t k = 0; k < kr; ++k) u0 += top[k] * vecs[k * kr + col];
+        const double u0c = u0 * inv_sqrt_c0;
+        const double gain = u0c * u0c / lam;
+        gain_[mode * mz + p] = gain;
+        carried += gain;
+      }
+      tail_[mode] = transfer_[mode] - carried;
+    }
+  }
+  transient_ready_ = true;
 }
 
 void SpectralThermalSolver::accumulate_surface_coefficients(
@@ -161,7 +473,7 @@ double SpectralThermalSolver::rise_at_depth(const Solution& sol, double x, doubl
                                             double z) const {
   PTHERM_REQUIRE(sol.coeff.size() == static_cast<std::size_t>(mode_count()),
                  "spectral: solution size mismatch");
-  const double t = die_.thickness;
+  const double t = layered_ ? stack_->total_thickness() : die_.thickness;
   PTHERM_REQUIRE(z >= 0.0 && z <= t, "spectral: depth outside the die");
   std::vector<double> cosx(static_cast<std::size_t>(opts_.modes_x));
   for (int m = 0; m < opts_.modes_x; ++m) cosx[m] = std::cos(m * kPi * x / die_.width);
@@ -172,7 +484,9 @@ double SpectralThermalSolver::rise_at_depth(const Solution& sol, double x, doubl
     double inner = 0.0;
     for (int m = 0; m < opts_.modes_x; ++m) {
       const double g = std::hypot(m * kPi / die_.width, gy);
-      inner += sol.coeff[row + m] * steady_depth_profile(g, t, z) * cosx[m];
+      const double profile =
+          layered_ ? layered_depth_ratio(g, z) : steady_depth_profile(g, t, z);
+      inner += sol.coeff[row + m] * profile * cosx[m];
     }
     total += inner * std::cos(gy * y);
   }
@@ -318,8 +632,12 @@ void SpectralThermalSolver::apply_influence(InfluenceProjection& proj,
 // ------------------------------------------------------------------ transient
 
 SpectralThermalSolver::TransientSolution SpectralThermalSolver::make_transient() const {
-  PTHERM_REQUIRE(die_.cv_si > 0.0,
-                 "spectral transient: non-positive volumetric heat capacity");
+  if (layered_) {
+    ensure_transient_modes();
+  } else {
+    PTHERM_REQUIRE(die_.cv_si > 0.0,
+                   "spectral transient: non-positive volumetric heat capacity");
+  }
   TransientSolution state;
   const std::size_t modes = static_cast<std::size_t>(mode_count());
   state.surface.coeff.assign(modes, 0.0);
@@ -405,6 +723,35 @@ int SpectralThermalSolver::step_transient(TransientSolution& state, double h,
     ++power_updates_;
   }
 
+  // (2 + 3, layered) The modal rates live on the per-(mode, p) grid — they
+  // do not separate into lateral x z factors — so the decay cache is the
+  // full grid; the amplitude update and the quasi-static tail fold are the
+  // same exact exponential machinery as the closed-form path below.
+  if (layered_) {
+    ensure_transient_modes();
+    if (state.decay_h != h || state.decay.size() != modes * mz) {
+      state.decay.resize(modes * mz);
+      for (std::size_t i = 0; i < modes * mz; ++i) {
+        state.decay[i] = std::exp(-lambda_[i] * h);
+      }
+      state.decay_h = h;
+    }
+    for (std::size_t mode = 0; mode < modes; ++mode) {
+      const double q = state.flux[mode];
+      double* amp = state.amps.data() + mode * mz;
+      const double* gain = gain_.data() + mode * mz;
+      const double* decay = state.decay.data() + mode * mz;
+      double sum = 0.0;
+      for (std::size_t p = 0; p < mz; ++p) {
+        const double d = decay[p];
+        amp[p] = amp[p] * d + q * gain[p] * (1.0 - d);
+        sum += amp[p];
+      }
+      state.surface.coeff[mode] = sum + tail_[mode] * q;
+    }
+    return 1;
+  }
+
   // (2) Decay factors keyed by h, in separable lateral x z form: the exact
   // per-mode decay e^{-alpha (g^2 + gamma_p^2) h} is their product.
   const double alpha = die_.k_si / die_.cv_si;
@@ -438,6 +785,9 @@ int SpectralThermalSolver::step_transient(TransientSolution& state, double h,
 
 double SpectralThermalSolver::rise_at_depth(const TransientSolution& state, double x, double y,
                                             double z) const {
+  PTHERM_REQUIRE(!layered_,
+                 "spectral: transient rise_at_depth needs the single-die z-eigenbasis "
+                 "(layered stacks: query the surface, or use the layered FDM backend)");
   const std::size_t modes = static_cast<std::size_t>(mode_count());
   const std::size_t mz = static_cast<std::size_t>(opts_.modes_z);
   PTHERM_REQUIRE(state.amps.size() == modes * mz && state.surface.coeff.size() == modes,

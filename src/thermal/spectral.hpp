@@ -29,12 +29,31 @@
 // Source-clipping policy matches the other backends: footprints are clipped
 // to the die and the FULL source power deposits over the clipped rectangle;
 // fully off-die sources contribute nothing; degenerate sources throw.
+//
+// DIE STACKS. The lateral eigenbasis only needs adiabatic sidewalls, so the
+// whole machinery survives an arbitrary z-stack (thermal/stack.hpp): the
+// per-mode steady transfer generalizes from tanh(g t) / (k g) to the
+// transmission-line impedance recursion through the layers (each slab maps
+// its load impedance as Z -> (Z + tanh(g t)/(k g)) / (1 + Z k g tanh(g t)),
+// seeded with 0 at an isothermal plane or 1/h at a convective film), and
+// the transient z-eigenbasis cos(gamma_p z) generalizes to the eigenmodes
+// of a per-mode symmetric tridiagonal z-operator on a layered grid, solved
+// with numerics/eigen.hpp and advanced by the same exact exponential
+// update. The truncation-plus-discretization tail is again folded in
+// quasi-statically against the EXACT (continuous) transfer, so the layered
+// transient's long-time limit reproduces solve_steady to rounding for every
+// mode. A stack that reduces_to the die routes onto the original closed
+// forms, bitwise. When every layer shares one diffusivity k/cv, the
+// z-operator's g-dependence is a scalar shift alpha g^2 I: one
+// eigendecomposition serves all lateral modes.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "thermal/images.hpp"
+#include "thermal/stack.hpp"
 
 namespace ptherm::thermal {
 
@@ -49,11 +68,28 @@ struct SpectralOptions {
   /// integrator; the truncated tail is folded in quasi-statically (its time
   /// constants fall like 1/p^2 — mode 8 of a 350 um die settles in ~2 us).
   int modes_z = 8;
+  /// z-cells of the layered modal reduction (stack constructor only): the
+  /// per-lateral-mode z-operator is discretized on this many cells, split
+  /// across the layers proportionally to thickness, and modes_z of its
+  /// slowest eigenmodes are carried. Single-die solvers ignore it (their
+  /// z-eigenbasis is closed-form).
+  int layered_nz = 40;
 };
 
 class SpectralThermalSolver {
  public:
   SpectralThermalSolver(Die die, SpectralOptions opts = {});
+
+  /// Layered constructor: the stack is authoritative for everything in z
+  /// (the die supplies the lateral dimensions and the ambient temperature;
+  /// its thickness/k_si/cv_si are ignored unless the stack reduces to them).
+  /// A stack satisfying stack.reduces_to(die) routes onto the single-die
+  /// closed forms and reproduces the legacy solver bitwise.
+  SpectralThermalSolver(Die die, DieStack stack, SpectralOptions opts = {});
+
+  /// Whether this solver runs the layered z-machinery (false: single-die
+  /// closed forms, including when a trivial stack was handed in).
+  [[nodiscard]] bool layered() const noexcept { return layered_; }
 
   /// Surface-rise mode coefficients S_mn for the given sources; coeff is
   /// modes_y-major (coeff[n * modes_x + m]).
@@ -68,7 +104,9 @@ class SpectralThermalSolver {
   /// Rise at depth z below surface point (x, y): per-mode depth transfer
   /// sinh(g (t - z)) / sinh(g t), evaluated in overflow-safe exponential
   /// form. Used to compare against cell-centred FDM layers without
-  /// extrapolation bias.
+  /// extrapolation bias. On layered stacks z spans the whole stack and the
+  /// per-mode profile is the exact slab-by-slab transmission-line ratio
+  /// (two-sided decaying exponentials — no sinh overflow, no cancellation).
   [[nodiscard]] double rise_at_depth(const Solution& sol, double x, double y, double z) const;
 
   /// Surface-rise map on the nx x ny cell-centre grid (row-major, y outer —
@@ -146,6 +184,10 @@ class SpectralThermalSolver {
     double decay_h = 0.0;
     std::vector<double> decay_lat;
     std::vector<double> decay_z;
+    /// Layered stacks only: per-(lateral mode, z-mode) decay factors keyed
+    /// by decay_h — layered modal rates do not separate into lateral x z
+    /// factors, so the cache is the full product grid.
+    std::vector<double> decay;
   };
 
   /// Zero-rise transient field (everything at the sink temperature).
@@ -168,7 +210,11 @@ class SpectralThermalSolver {
   /// Rise at depth z of the transient field: explicit z-modes evaluated at
   /// cos(gamma_p z), truncation tail at its quasi-static depth profile. Used
   /// for matched-depth comparison against the FDM trajectory (whose top
-  /// layer reports dz/2 below the surface).
+  /// layer reports dz/2 below the surface). Single-die solvers only — a
+  /// layered field's carried z-modes live on the modal grid, not a
+  /// closed-form eigenbasis, so this throws ptherm::PreconditionError on
+  /// layered stacks (query the surface, or use the layered FDM backend for
+  /// depth traces).
   [[nodiscard]] double rise_at_depth(const TransientSolution& state, double x, double y,
                                      double z) const;
 
@@ -190,16 +236,47 @@ class SpectralThermalSolver {
   bool refresh_projections(TransientSolution& state,
                            const std::vector<HeatSource>& sources) const;
 
+  /// The single-die closed-form setup (transfer, cos(gamma_p z) eigenbasis,
+  /// gains, tail) — the legacy constructor body, shared by trivial stacks.
+  void init_single_die();
+
+  /// Per-mode steady surface impedance of the layered stack: the
+  /// transmission-line recursion from the boundary seed up through every
+  /// layer. The single-layer isothermal case reproduces tanh(g t) / (k g)
+  /// bitwise.
+  [[nodiscard]] double layered_transfer(double g) const;
+
+  /// theta(z) / theta(0) of lateral mode g at steady state, slab by slab.
+  [[nodiscard]] double layered_depth_ratio(double g, double z) const;
+
+  /// Builds lambda_/gain_/tail_ for the layered transient on first use
+  /// (steady-only callers never pay for the per-mode eigensolves).
+  void ensure_transient_modes() const;
+
   Die die_;
   SpectralOptions opts_;
-  std::vector<double> transfer_;  ///< tanh(g t) / (k g) per mode (t/k at DC)
+  std::vector<double> transfer_;  ///< steady surface transfer per mode [K m^2 / W]
   std::vector<double> g2_;        ///< lateral eigenvalue g^2 per mode
-  std::vector<double> gamma2_;    ///< z eigenvalue gamma_p^2, p < modes_z
-  /// Steady gain of z-mode p of lateral mode mn: 2 / (k t (g^2 + gamma_p^2)),
-  /// lateral-mode major like TransientSolution::amps.
-  std::vector<double> gain_;
-  /// transfer_ minus the carried z-modes' gains: the quasi-static tail.
-  std::vector<double> tail_;
+  std::vector<double> gamma2_;    ///< z eigenvalue gamma_p^2, p < modes_z (single-die)
+  /// Steady gain of z-mode p of lateral mode mn — 2 / (k t (g^2 + gamma_p^2))
+  /// closed-form on a single die, u_0p^2 / lambda_p on a layered stack —
+  /// lateral-mode major like TransientSolution::amps. Mutable: layered
+  /// solvers fill it lazily in ensure_transient_modes().
+  mutable std::vector<double> gain_;
+  /// transfer_ minus the carried z-modes' gains: the quasi-static tail
+  /// (truncation + discretization on layered stacks, so the long-time limit
+  /// is the exact steady transfer either way).
+  mutable std::vector<double> tail_;
+
+  // Layered machinery; engaged when the stack does not reduce to the die.
+  std::optional<DieStack> stack_;
+  bool layered_ = false;
+  std::vector<double> dz_z_;  ///< layered z-grid cell heights, surface first
+  std::vector<double> k_z_;   ///< per-cell conductivity
+  std::vector<double> cv_z_;  ///< per-cell volumetric heat capacity
+  mutable bool transient_ready_ = false;
+  mutable std::vector<double> lambda_;  ///< per-(mode, p) modal rates [1/s] (layered)
+
   mutable long long fft_calls_ = 0;
   mutable long long power_updates_ = 0;
 };

@@ -1,0 +1,95 @@
+#include "thermal/stack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ptherm::thermal {
+
+DieStack::DieStack(std::vector<StackLayer> layers, BoundarySpec boundary)
+    : layers_(std::move(layers)), boundary_(std::move(boundary)) {
+  PTHERM_REQUIRE(!layers_.empty(), "DieStack: need at least one layer");
+  for (const StackLayer& layer : layers_) {
+    PTHERM_REQUIRE(layer.thickness > 0.0, "DieStack: layer thickness must be > 0");
+    PTHERM_REQUIRE(layer.k > 0.0, "DieStack: layer conductivity must be > 0");
+    PTHERM_REQUIRE(layer.cv > 0.0, "DieStack: layer heat capacity must be > 0");
+  }
+  switch (boundary_.kind) {
+    case BoundaryKind::Isothermal:
+      break;
+    case BoundaryKind::Convective:
+      PTHERM_REQUIRE(boundary_.h > 0.0, "DieStack: convective boundary needs h > 0");
+      break;
+    case BoundaryKind::RcNetwork:
+      PTHERM_REQUIRE(boundary_.rc.has_value(),
+                     "DieStack: RcNetwork boundary needs an attached network");
+      break;
+  }
+}
+
+DieStack DieStack::single(const Die& die) {
+  StackLayer silicon;
+  silicon.name = "die";
+  silicon.thickness = die.thickness;
+  silicon.k = die.k_si;
+  silicon.cv = die.cv_si;
+  return DieStack({silicon});
+}
+
+double DieStack::total_thickness() const noexcept {
+  double t = 0.0;
+  for (const StackLayer& layer : layers_) t += layer.thickness;
+  return t;
+}
+
+double DieStack::series_resistance_per_area() const noexcept {
+  double r = 0.0;
+  for (const StackLayer& layer : layers_) r += layer.thickness / layer.k;
+  if (boundary_.kind == BoundaryKind::Convective) r += 1.0 / boundary_.h;
+  return r;
+}
+
+double DieStack::package_resistance() const noexcept {
+  if (boundary_.kind == BoundaryKind::RcNetwork && boundary_.rc.has_value()) {
+    return boundary_.rc->total_resistance();
+  }
+  return 0.0;
+}
+
+bool DieStack::reduces_to(const Die& die) const noexcept {
+  if (layers_.size() != 1) return false;
+  if (!isothermal_operator_boundary()) return false;
+  const StackLayer& layer = layers_.front();
+  return layer.thickness == die.thickness && layer.k == die.k_si && layer.cv == die.cv_si;
+}
+
+std::vector<int> distribute_stack_cells(const DieStack& stack, int total_cells) {
+  const std::size_t n = stack.layer_count();
+  PTHERM_REQUIRE(total_cells >= static_cast<int>(n),
+                 "distribute_stack_cells: need at least one cell per layer");
+  const double total_t = stack.total_thickness();
+  // Largest-remainder apportionment with a floor of one cell per layer:
+  // give each layer 1 + floor(share of the remaining cells), then hand the
+  // leftover cells to the largest fractional parts (ties to the upper
+  // layers, where the heat enters).
+  const int spare = total_cells - static_cast<int>(n);
+  std::vector<int> cells(n, 1);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = spare * stack.layers()[i].thickness / total_t;
+    const int base = static_cast<int>(ideal);
+    cells[i] += base;
+    assigned += base;
+    remainders[i] = {ideal - base, i};
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int leftover = spare - assigned, j = 0; leftover > 0; --leftover, ++j) {
+    ++cells[remainders[static_cast<std::size_t>(j)].second];
+  }
+  return cells;
+}
+
+}  // namespace ptherm::thermal

@@ -211,5 +211,90 @@ TEST(Cosim, PackageResistanceRaisesEveryBlockUniformly) {
   EXPECT_GT(rb.total_leakage, ra.total_leakage);  // hotter die leaks more
 }
 
+TEST(Cosim, BoundaryFoldResistanceSumsPackageAndStackNetwork) {
+  CosimOptions opts;
+  EXPECT_DOUBLE_EQ(boundary_fold_resistance(opts), 0.0);
+  opts.r_package = 0.3;
+  EXPECT_DOUBLE_EQ(boundary_fold_resistance(opts), 0.3);
+  // An isothermal stack adds nothing; an RC-network boundary adds its DC
+  // resistance on top of the scalar option.
+  opts.stack = thermal::DieStack::single(die_1mm());
+  EXPECT_DOUBLE_EQ(boundary_fold_resistance(opts), 0.3);
+  thermal::BoundarySpec rc;
+  rc.kind = thermal::BoundaryKind::RcNetwork;
+  rc.rc.emplace(std::vector<thermal::ThermalRc>{{0.5, 0.1}, {0.3, 2.0}});
+  opts.stack = thermal::DieStack(
+      {{"die", die_1mm().thickness, die_1mm().k_si, die_1mm().cv_si}}, rc);
+  EXPECT_DOUBLE_EQ(boundary_fold_resistance(opts), 0.3 + 0.8);
+}
+
+TEST(Cosim, RcBoundaryStackIsTheScalarRPackageAtSteadyState) {
+  // One r_package semantics: a trivial stack closed by an RC network with
+  // total resistance R must reproduce the scalar r_package = R run exactly
+  // (same conduction operator, same fold — bitwise, not approximately).
+  const auto fp = small_plan(2.0);
+  CosimOptions scalar;
+  scalar.r_package = 0.8;
+  CosimOptions stacked;
+  thermal::BoundarySpec rc;
+  rc.kind = thermal::BoundaryKind::RcNetwork;
+  rc.rc.emplace(std::vector<thermal::ThermalRc>{{0.5, 0.1}, {0.3, 2.0}});
+  stacked.stack = thermal::DieStack(
+      {{"die", die_1mm().thickness, die_1mm().k_si, die_1mm().cv_si}}, rc);
+  ElectroThermalSolver a(tech(), fp, scalar);
+  ElectroThermalSolver b(tech(), fp, stacked);
+  const auto ra = a.solve();
+  const auto rb = b.solve();
+  ASSERT_TRUE(ra.converged && rb.converged);
+  ASSERT_EQ(ra.blocks.size(), rb.blocks.size());
+  for (std::size_t i = 0; i < ra.blocks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rb.blocks[i].temperature, ra.blocks[i].temperature);
+    EXPECT_DOUBLE_EQ(rb.blocks[i].p_leakage, ra.blocks[i].p_leakage);
+  }
+}
+
+TEST(Cosim, DenseAndMatrixFreeFoldTheSameBoundaryResistance) {
+  // The satellite contract for the unified boundary fold: with r_package AND
+  // an RC-network stack in play, the dense build (fold inside the matrix)
+  // and the matrix-free path (fold applied per Picard iteration) must
+  // realize identical influence entries and agree on the solve.
+  const auto fp = small_plan(2.0);
+  CosimOptions base;
+  base.backend = ThermalBackend::Spectral;
+  base.r_package = 0.4;
+  thermal::BoundarySpec rc;
+  rc.kind = thermal::BoundaryKind::RcNetwork;
+  rc.rc.emplace(std::vector<thermal::ThermalRc>{{0.6, 0.05}});
+  base.stack = thermal::DieStack(
+      {{"die", die_1mm().thickness, die_1mm().k_si, die_1mm().cv_si}}, rc);
+
+  CosimOptions dense = base;
+  dense.influence = InfluenceMode::Dense;
+  CosimOptions free = base;
+  free.influence = InfluenceMode::MatrixFree;
+
+  ElectroThermalSolver d(tech(), fp, dense);
+  ElectroThermalSolver f(tech(), fp, free);
+  const auto rd = d.solve();
+  const auto rf = f.solve();
+  ASSERT_TRUE(rd.converged && rf.converged);
+  EXPECT_FALSE(d.matrix_free());
+  EXPECT_TRUE(f.matrix_free());
+
+  // The lazily realised dense view of the matrix-free solver goes through
+  // the same boundary_fold_resistance helper: identical entries.
+  const auto& md = d.influence_matrix();
+  const auto& mf = f.influence_matrix();
+  ASSERT_EQ(md.size(), mf.size());
+  for (std::size_t i = 0; i < md.size(); ++i) {
+    for (std::size_t j = 0; j < md.size(); ++j) {
+      EXPECT_DOUBLE_EQ(mf.at(i, j), md.at(i, j)) << "entry (" << i << ", " << j << ")";
+    }
+  }
+  for (std::size_t i = 0; i < rd.blocks.size(); ++i) {
+    EXPECT_NEAR(rf.blocks[i].temperature, rd.blocks[i].temperature, 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace ptherm::core

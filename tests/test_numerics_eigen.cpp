@@ -1,0 +1,173 @@
+// Symmetric tridiagonal eigensolver tests: implicit-shift QL spectra against
+// closed forms and invariants, inverse-iteration eigenvectors against the
+// defining residual, and the determinism the layered thermal backends rely
+// on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "numerics/eigen.hpp"
+
+namespace ptherm::numerics {
+namespace {
+
+// Residual || T v - lambda v ||_inf of a unit vector v.
+double eigen_residual(const std::vector<double>& diag, const std::vector<double>& off,
+                      double lambda, const std::vector<double>& v) {
+  const std::size_t n = diag.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = (diag[i] - lambda) * v[i];
+    if (i > 0) r += off[i - 1] * v[i - 1];
+    if (i + 1 < n) r += off[i] * v[i + 1];
+    worst = std::max(worst, std::abs(r));
+  }
+  return worst;
+}
+
+TEST(TridiagonalEigenvalues, MatchesClosedFormForDiscreteLaplacian) {
+  // -1 / 2 / -1 on n cells: lambda_p = 2 - 2 cos(p pi / (n + 1)).
+  const std::size_t n = 24;
+  const std::vector<double> diag(n, 2.0);
+  const std::vector<double> off(n - 1, -1.0);
+  const auto evals = tridiagonal_eigenvalues(diag, off);
+  ASSERT_EQ(evals.size(), n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const double exact =
+        2.0 - 2.0 * std::cos((p + 1) * std::numbers::pi / static_cast<double>(n + 1));
+    EXPECT_NEAR(evals[p], exact, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(TridiagonalEigenvalues, DiagonalMatrixReturnsSortedDiagonal) {
+  const std::vector<double> diag{3.0, -1.0, 7.0, 0.5};
+  const std::vector<double> off(3, 0.0);
+  const auto evals = tridiagonal_eigenvalues(diag, off);
+  const std::vector<double> expect{-1.0, 0.5, 3.0, 7.0};
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(evals[i], expect[i]);
+}
+
+TEST(TridiagonalEigenvalues, TraceAndAscendingOrderInvariants) {
+  std::vector<double> diag{5.0, 1.0, 4.0, 2.5, 8.0, 3.0};
+  std::vector<double> off{0.7, -1.3, 2.0, 0.1, -0.4};
+  const auto evals = tridiagonal_eigenvalues(diag, off);
+  double trace = 0.0;
+  double sum = 0.0;
+  for (double d : diag) trace += d;
+  for (std::size_t p = 0; p < evals.size(); ++p) {
+    sum += evals[p];
+    if (p > 0) {
+      EXPECT_GE(evals[p], evals[p - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+TEST(TridiagonalEigenvalues, SingleEntryMatrix) {
+  const std::vector<double> diag{4.25};
+  const auto evals = tridiagonal_eigenvalues(diag, {});
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_DOUBLE_EQ(evals[0], 4.25);
+}
+
+TEST(TridiagonalEigenvalues, RejectsSizeMismatch) {
+  const std::vector<double> diag{1.0, 2.0};
+  const std::vector<double> off{0.5, 0.5};
+  EXPECT_THROW((void)tridiagonal_eigenvalues(diag, off), PreconditionError);
+  EXPECT_THROW((void)tridiagonal_eigenvalues({}, {}), PreconditionError);
+}
+
+TEST(TridiagonalSmallestEigenvalues, MatchesTheBottomOfTheFullSpectrum) {
+  const std::vector<double> diag{5.0, 1.0, 4.0, 2.5, 8.0, 3.0, 6.5, 0.25};
+  const std::vector<double> off{0.7, -1.3, 2.0, 0.1, -0.4, 1.1, 0.6};
+  const auto full = tridiagonal_eigenvalues(diag, off);
+  for (std::size_t count = 1; count <= diag.size(); ++count) {
+    const auto bottom = tridiagonal_smallest_eigenvalues(diag, off, count);
+    ASSERT_EQ(bottom.size(), count);
+    for (std::size_t p = 0; p < count; ++p) {
+      EXPECT_NEAR(bottom[p], full[p], 1e-11 * std::abs(full[p]) + 1e-12)
+          << "count = " << count << ", p = " << p;
+    }
+  }
+}
+
+TEST(TridiagonalSmallestEigenvalues, HandlesRepeatedEigenvalues) {
+  // Block-diagonal: two decoupled copies of the same 2x2 give a doubly
+  // degenerate pair; the bisection must report the multiplicity, not skip it.
+  const std::vector<double> diag{2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> off{1.0, 0.0, 1.0};
+  const auto evals = tridiagonal_smallest_eigenvalues(diag, off, 4);
+  EXPECT_NEAR(evals[0], 1.0, 1e-11);
+  EXPECT_NEAR(evals[1], 1.0, 1e-11);
+  EXPECT_NEAR(evals[2], 3.0, 1e-11);
+  EXPECT_NEAR(evals[3], 3.0, 1e-11);
+}
+
+TEST(TridiagonalSmallestEigenvalues, SingleEntryAndValidation) {
+  const auto one = tridiagonal_smallest_eigenvalues(std::vector<double>{-2.5}, {}, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], -2.5);
+  const std::vector<double> diag{1.0, 2.0, 3.0};
+  const std::vector<double> off{0.5, 0.5};
+  EXPECT_THROW((void)tridiagonal_smallest_eigenvalues(diag, off, 0), PreconditionError);
+  EXPECT_THROW((void)tridiagonal_smallest_eigenvalues(diag, off, 4), PreconditionError);
+  const std::vector<double> short_off{0.5};
+  EXPECT_THROW((void)tridiagonal_smallest_eigenvalues(diag, short_off, 1),
+               PreconditionError);
+}
+
+TEST(TridiagonalEigenvector, SatisfiesDefinitionForEveryEigenvalue) {
+  const std::vector<double> diag{5.0, 1.0, 4.0, 2.5, 8.0, 3.0, 6.5};
+  const std::vector<double> off{0.7, -1.3, 2.0, 0.1, -0.4, 1.1};
+  const auto evals = tridiagonal_eigenvalues(diag, off);
+  double norm = 0.0;
+  for (double d : diag) norm = std::max(norm, std::abs(d));
+  for (double e : off) norm = std::max(norm, std::abs(e));
+  for (double lambda : evals) {
+    const auto v = tridiagonal_eigenvector(diag, off, lambda);
+    double len = 0.0;
+    for (double x : v) len += x * x;
+    EXPECT_NEAR(len, 1.0, 1e-12);
+    EXPECT_LT(eigen_residual(diag, off, lambda, v), 1e-9 * norm) << "lambda = " << lambda;
+  }
+}
+
+TEST(TridiagonalEigenvector, DeterministicSignConvention) {
+  const std::vector<double> diag{2.0, 2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> off{-1.0, -1.0, -1.0, -1.0};
+  const auto evals = tridiagonal_eigenvalues(diag, off);
+  for (double lambda : evals) {
+    const auto a = tridiagonal_eigenvector(diag, off, lambda);
+    const auto b = tridiagonal_eigenvector(diag, off, lambda);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+    // First non-negligible component is positive.
+    for (double x : a) {
+      if (std::abs(x) > 1e-12) {
+        EXPECT_GT(x, 0.0);
+        break;
+      }
+    }
+  }
+}
+
+TEST(TridiagonalEigenvector, OrthogonalAcrossDistinctEigenvalues) {
+  const std::vector<double> diag{3.0, 1.5, 4.0, 2.0, 5.5, 0.5};
+  const std::vector<double> off{0.9, 0.4, -0.8, 1.2, -0.3};
+  const auto evals = tridiagonal_eigenvalues(diag, off);
+  std::vector<std::vector<double>> vecs;
+  for (double lambda : evals) vecs.push_back(tridiagonal_eigenvector(diag, off, lambda));
+  for (std::size_t a = 0; a < vecs.size(); ++a) {
+    for (std::size_t b = a + 1; b < vecs.size(); ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < vecs[a].size(); ++i) dot += vecs[a][i] * vecs[b][i];
+      EXPECT_LT(std::abs(dot), 1e-8) << "pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptherm::numerics

@@ -205,5 +205,110 @@ TEST(SelfHeating, RejectsBadConfig) {
   EXPECT_THROW(run_self_heating(cfg), PreconditionError);
 }
 
+// ------------------------------------------------- package Cauer network
+
+TEST(PackageRc, StageValidationRejectsNonPositiveParameters) {
+  EXPECT_THROW(validate(ThermalRc{0.0, 1.0}), PreconditionError);
+  EXPECT_THROW(validate(ThermalRc{1.0, 0.0}), PreconditionError);
+  EXPECT_THROW(validate(ThermalRc{-0.5, 1.0}), PreconditionError);
+  EXPECT_NO_THROW(validate(ThermalRc{0.4, 0.1}));
+  // The network constructor validates every stage through the same gate.
+  EXPECT_THROW(PackageRcNetwork({{0.3, 0.02}, {0.5, -1.0}}), PreconditionError);
+  EXPECT_THROW(PackageRcNetwork({}), PreconditionError);
+}
+
+TEST(PackageRc, TotalResistanceSumsTheLadder) {
+  const PackageRcNetwork net({{0.3, 0.02}, {0.5, 2.0}, {0.1, 5.0}});
+  EXPECT_DOUBLE_EQ(net.total_resistance(), 0.3 + 0.5 + 0.1);
+  EXPECT_DOUBLE_EQ(net.steady_case_rise(12.5), (0.3 + 0.5 + 0.1) * 12.5);
+}
+
+TEST(PackageRc, SingleStageMatchesTheScalarExponential) {
+  const double r = 0.8, c = 1.5, p = 20.0;
+  const PackageRcNetwork net({{r, c}});
+  auto state = net.make_state();
+  const double dt = 0.05;
+  double t = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    const double got = net.advance(state, dt, p);
+    t += dt;
+    const double want = r * p * (1.0 - std::exp(-t / (r * c)));
+    ASSERT_NEAR(got, want, 1e-12 * r * p) << "t = " << t;
+  }
+}
+
+TEST(PackageRc, TwoStageStepResponseMatchesClosedForm) {
+  // Case node (C1) -R1- sink node (C2) -R2- ambient under constant power P:
+  //   C1 th0' = P - (th0 - th1) / R1
+  //   C2 th1' = (th0 - th1) / R1 - th1 / R2
+  // Solved in closed form via the 2 x 2 eigendecomposition here and compared
+  // against advance() at every sampled instant — the exactness contract, not
+  // an ODE-convergence bound.
+  const double r1 = 0.25, c1 = 0.04, r2 = 0.6, c2 = 3.0, p = 15.0;
+  const PackageRcNetwork net({{r1, c1}, {r2, c2}});
+
+  // w = theta_inf - theta obeys w' = -A w from w(0) = theta_inf.
+  const double a00 = 1.0 / (r1 * c1);
+  const double a01 = -1.0 / (r1 * c1);
+  const double a10 = -1.0 / (r1 * c2);
+  const double a11 = (1.0 / r1 + 1.0 / r2) / c2;
+  const double tr = a00 + a11;
+  const double det = a00 * a11 - a01 * a10;
+  const double disc = std::sqrt(tr * tr - 4.0 * det);
+  const double lam_fast = 0.5 * (tr + disc);
+  const double lam_slow = 0.5 * (tr - disc);
+  // Eigenvector for lambda: (a01, lambda - a00).
+  const double vf0 = a01, vf1 = lam_fast - a00;
+  const double vs0 = a01, vs1 = lam_slow - a00;
+  const double w0_case = (r1 + r2) * p;
+  const double w0_sink = r2 * p;
+  // Solve [vf vs] (af, as)^T = w(0).
+  const double den = vf0 * vs1 - vs0 * vf1;
+  const double af = (w0_case * vs1 - vs0 * w0_sink) / den;
+  const double as = (vf0 * w0_sink - w0_case * vf1) / den;
+
+  auto state = net.make_state();
+  const double dt = 2e-3;
+  double t = 0.0;
+  for (int s = 0; s < 2000; ++s) {
+    const double got = net.advance(state, dt, p);
+    t += dt;
+    const double want = w0_case - af * vf0 * std::exp(-lam_fast * t) -
+                        as * vs0 * std::exp(-lam_slow * t);
+    ASSERT_NEAR(got, want, 1e-9 * w0_case) << "t = " << t;
+  }
+}
+
+TEST(PackageRc, OneStepEqualsManySubstepsToRounding) {
+  // The exact-exponential contract: accuracy does not depend on the step.
+  const PackageRcNetwork net({{0.3, 0.02}, {0.5, 2.0}});
+  const double p = 30.0, h = 0.8;
+  auto one = net.make_state();
+  const double big = net.advance(one, h, p);
+  auto many = net.make_state();
+  double small = 0.0;
+  for (int s = 0; s < 64; ++s) small = net.advance(many, h / 64.0, p);
+  EXPECT_NEAR(big, small, 1e-12 * std::abs(big));
+}
+
+TEST(PackageRc, ConvergesToTheSteadyCaseRise) {
+  const PackageRcNetwork net({{0.3, 0.02}, {0.5, 2.0}});
+  const double p = 18.0;
+  auto state = net.make_state();
+  // Slowest time constant is of order R_total * C_total ~ 1.6 s; 60 s is
+  // dozens of taus.
+  const double rise = net.advance(state, 60.0, p);
+  EXPECT_NEAR(rise, net.steady_case_rise(p), 1e-9 * net.steady_case_rise(p));
+  EXPECT_DOUBLE_EQ(state.case_rise, rise);
+}
+
+TEST(PackageRc, ZeroPowerRelaxesBackToAmbient) {
+  const PackageRcNetwork net({{0.4, 0.05}, {0.7, 1.0}});
+  auto state = net.make_state();
+  net.advance(state, 10.0, 25.0);           // charge
+  const double relaxed = net.advance(state, 60.0, 0.0);  // discharge
+  EXPECT_NEAR(relaxed, 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace ptherm::thermal

@@ -1,0 +1,122 @@
+// DieStack contract tests: construction validation, the single()/reduces_to
+// round trip the solvers use to keep their legacy closed-form paths, the
+// derived resistance views, and the shared z-cell apportionment.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "thermal/stack.hpp"
+
+namespace ptherm::thermal {
+namespace {
+
+constexpr double kK = 148.0;
+constexpr double kCv = 1.631e6;
+
+StackLayer silicon(double thickness) { return {"die", thickness, kK, kCv}; }
+
+std::vector<ThermalRc> two_stage() { return {{0.3, 0.02}, {0.5, 2.0}}; }
+
+TEST(DieStack, RejectsEmptyAndNonPositiveLayers) {
+  EXPECT_THROW(DieStack({}), PreconditionError);
+  EXPECT_THROW(DieStack({{"die", 0.0, kK, kCv}}), PreconditionError);
+  EXPECT_THROW(DieStack({{"die", 350e-6, 0.0, kCv}}), PreconditionError);
+  EXPECT_THROW(DieStack({{"die", 350e-6, kK, -1.0}}), PreconditionError);
+  EXPECT_THROW(DieStack({silicon(350e-6), {"tim", -20e-6, 4.0, 2e6}}), PreconditionError);
+}
+
+TEST(DieStack, RejectsBadBoundarySpecs) {
+  BoundarySpec convective;
+  convective.kind = BoundaryKind::Convective;
+  convective.h = 0.0;
+  EXPECT_THROW(DieStack({silicon(350e-6)}, convective), PreconditionError);
+
+  BoundarySpec rc;
+  rc.kind = BoundaryKind::RcNetwork;  // rc member left unset
+  EXPECT_THROW(DieStack({silicon(350e-6)}, rc), PreconditionError);
+}
+
+TEST(DieStack, SingleReducesToItsDie) {
+  Die die;
+  die.thickness = 420e-6;
+  const DieStack stack = DieStack::single(die);
+  EXPECT_EQ(stack.layer_count(), 1u);
+  EXPECT_TRUE(stack.reduces_to(die));
+  EXPECT_DOUBLE_EQ(stack.total_thickness(), die.thickness);
+  EXPECT_DOUBLE_EQ(stack.series_resistance_per_area(), die.thickness / die.k_si);
+  EXPECT_DOUBLE_EQ(stack.package_resistance(), 0.0);
+}
+
+TEST(DieStack, RcBoundaryStillReducesConvectiveDoesNot) {
+  Die die;
+  // RcNetwork: the operator still sees an isothermal case plane, so the
+  // legacy conduction path applies; only the driver-side closure differs.
+  BoundarySpec rc;
+  rc.kind = BoundaryKind::RcNetwork;
+  rc.rc.emplace(two_stage());
+  const DieStack with_rc({silicon(die.thickness)}, rc);
+  EXPECT_TRUE(with_rc.reduces_to(die));
+  EXPECT_TRUE(with_rc.isothermal_operator_boundary());
+  EXPECT_DOUBLE_EQ(with_rc.package_resistance(), 0.8);
+
+  BoundarySpec conv;
+  conv.kind = BoundaryKind::Convective;
+  conv.h = 1e4;
+  const DieStack with_film({silicon(die.thickness)}, conv);
+  EXPECT_FALSE(with_film.reduces_to(die));
+  EXPECT_FALSE(with_film.isothermal_operator_boundary());
+}
+
+TEST(DieStack, MismatchedLayerOrExtraLayersDoNotReduce) {
+  Die die;
+  const DieStack thicker({silicon(die.thickness * 2.0)});
+  EXPECT_FALSE(thicker.reduces_to(die));
+  const DieStack wrong_k({{"die", die.thickness, kK * 1.5, kCv}});
+  EXPECT_FALSE(wrong_k.reduces_to(die));
+  const DieStack two({silicon(die.thickness), {"tim", 20e-6, 4.0, 2e6}});
+  EXPECT_FALSE(two.reduces_to(die));
+}
+
+TEST(DieStack, SeriesResistanceSumsLayersAndFilm) {
+  BoundarySpec conv;
+  conv.kind = BoundaryKind::Convective;
+  conv.h = 2.0e4;
+  const DieStack stack(
+      {silicon(350e-6), {"tim", 25e-6, 4.0, 2.2e6}, {"spreader", 1e-3, 390.0, 3.4e6}}, conv);
+  const double expect =
+      350e-6 / kK + 25e-6 / 4.0 + 1e-3 / 390.0 + 1.0 / 2.0e4;
+  EXPECT_NEAR(stack.series_resistance_per_area(), expect, 1e-18);
+  EXPECT_DOUBLE_EQ(stack.total_thickness(), 350e-6 + 25e-6 + 1e-3);
+}
+
+TEST(DistributeStackCells, ProportionalWithFloorOfOne) {
+  // 350 um die + 25 um TIM + 1 mm spreader: the TIM is ~1.8% of the height
+  // but must still get its own cell.
+  const DieStack stack(
+      {silicon(350e-6), {"tim", 25e-6, 4.0, 2.2e6}, {"spreader", 1e-3, 390.0, 3.4e6}});
+  const auto cells = distribute_stack_cells(stack, 40);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(std::accumulate(cells.begin(), cells.end(), 0), 40);
+  for (int c : cells) EXPECT_GE(c, 1);
+  // The spreader dominates the height, so it gets the most cells.
+  EXPECT_GT(cells[2], cells[0]);
+  EXPECT_GT(cells[0], cells[1]);
+}
+
+TEST(DistributeStackCells, EqualLayersSplitEvenly) {
+  const DieStack stack({silicon(100e-6), silicon(100e-6), silicon(100e-6), silicon(100e-6)});
+  const auto cells = distribute_stack_cells(stack, 12);
+  for (int c : cells) EXPECT_EQ(c, 3);
+}
+
+TEST(DistributeStackCells, ThrowsWhenFewerCellsThanLayers) {
+  const DieStack stack({silicon(100e-6), silicon(100e-6), silicon(100e-6)});
+  EXPECT_THROW((void)distribute_stack_cells(stack, 2), PreconditionError);
+  const auto minimal = distribute_stack_cells(stack, 3);
+  for (int c : minimal) EXPECT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace ptherm::thermal
