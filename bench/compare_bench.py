@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two merged bench reports (BENCH_<label>.json from run_bench.sh).
+
+Wall time drifts with the machine, the build, and the moon phase, so it gets
+a tolerance: only regressions beyond --time-tolerance (default 10%) are
+flagged. Solver counters (picard_iterations, cg_iterations, transient_steps,
+fft_calls, ...) are deterministic for a given code + configuration, so ANY
+counter increase is flagged — a convergence or algorithmic regression hiding
+inside an apparently-fine wall time is exactly what this catches.
+
+Benchmarks present on only one side are reported informationally and are not
+failures: PRs add trajectory points.
+
+Exit status: 0 = clean, 1 = at least one regression flagged. CI runs this as
+an advisory (continue-on-error) step against the previous PR's checked-in
+report.
+
+Usage: bench/compare_bench.py BASELINE.json CANDIDATE.json [--time-tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic solver-effort counters: any increase is a regression.
+SOLVER_COUNTERS = (
+    "picard_iterations",
+    "picard_iterations_total",
+    "cg_iterations",
+    "transient_steps",
+    "fft_calls",
+    "batched_matvecs",
+)
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    entries = {}
+    for suite, benches in report.get("benchmarks", {}).items():
+        for bench in benches:
+            entries[f"{suite}:{bench['name']}"] = bench
+    return report, entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--time-tolerance", type=float, default=0.10,
+                        help="allowed fractional real_time growth (default 0.10)")
+    args = parser.parse_args()
+
+    base_report, base = load(args.baseline)
+    cand_report, cand = load(args.candidate)
+
+    for side, report, path in (("baseline", base_report, args.baseline),
+                               ("candidate", cand_report, args.candidate)):
+        if report.get("build_type") != "Release":
+            print(f"warning: {side} {path} is a '{report.get('build_type')}' build; "
+                  "wall-time comparison is unreliable", file=sys.stderr)
+    if base_report.get("benchmark_library_build_type") != \
+       cand_report.get("benchmark_library_build_type"):
+        print("warning: benchmark library build types differ between reports",
+              file=sys.stderr)
+
+    regressions = []
+    improvements = []
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    for key in sorted(set(base) & set(cand)):
+        b, c = base[key], cand[key]
+        if b.get("time_unit") != c.get("time_unit"):
+            regressions.append(f"{key}: time_unit changed "
+                               f"{b.get('time_unit')} -> {c.get('time_unit')}")
+            continue
+        bt, ct = b.get("real_time"), c.get("real_time")
+        if bt and ct:
+            ratio = ct / bt
+            if ratio > 1.0 + args.time_tolerance:
+                regressions.append(
+                    f"{key}: real_time {bt:.4g} -> {ct:.4g} {b['time_unit']} "
+                    f"(+{100 * (ratio - 1):.1f}% > {100 * args.time_tolerance:.0f}%)")
+            elif ratio < 1.0 - args.time_tolerance:
+                improvements.append(
+                    f"{key}: real_time {bt:.4g} -> {ct:.4g} {b['time_unit']} "
+                    f"({100 * (ratio - 1):.1f}%)")
+        for counter in SOLVER_COUNTERS:
+            if counter in b and counter in c and c[counter] > b[counter]:
+                regressions.append(
+                    f"{key}: {counter} {b[counter]:g} -> {c[counter]:g} "
+                    "(solver counters must not grow)")
+
+    print(f"compared {len(set(base) & set(cand))} common benchmarks "
+          f"({args.baseline} -> {args.candidate})")
+    for key in only_base:
+        print(f"note: only in baseline: {key}")
+    for key in only_cand:
+        print(f"note: new in candidate: {key}")
+    for line in improvements:
+        print(f"improved: {line}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

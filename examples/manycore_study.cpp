@@ -12,33 +12,21 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "transient_backend_arg.hpp"
 
 int main(int argc, char** argv) {
   using namespace ptherm;
 
   // Strict selector: default Spectral, reject unknown and trailing
   // arguments (a typo must not silently study the wrong backend).
+  const auto backend = examples::parse_steady_backend(argc, argv);
+  if (!backend) return examples::kUsageExitStatus;
   core::CosimOptions opts;
-  opts.backend = core::ThermalBackend::Spectral;
-  if (argc > 2) {
-    std::cerr << "usage: manycore_study [analytic|fdm|spectral]\n";
-    return 2;
-  }
-  if (argc == 2) {
-    const std::string choice = argv[1];
-    if (choice == "analytic") {
-      opts.backend = core::ThermalBackend::Analytic;
-    } else if (choice == "fdm") {
-      opts.backend = core::ThermalBackend::Fdm;
-      opts.fdm.nx = 24;
-      opts.fdm.ny = 24;
-      opts.fdm.nz = 12;
-    } else if (choice == "spectral") {
-      opts.backend = core::ThermalBackend::Spectral;
-    } else {
-      std::cerr << "unknown backend '" << choice << "' (want analytic, fdm, or spectral)\n";
-      return 2;
-    }
+  opts.backend = *backend;
+  if (opts.backend == core::ThermalBackend::Fdm) {
+    opts.fdm.nx = 24;
+    opts.fdm.ny = 24;
+    opts.fdm.nz = 12;
   }
 
   thermal::Die die;

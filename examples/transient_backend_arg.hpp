@@ -1,8 +1,10 @@
-// Shared strict selector parsing for the transient examples. CI runs each
-// example once per transient-capable backend AND asserts the failure modes
-// (unknown selector, trailing arguments), so the contract lives in exactly
-// one place: parse succeeds only for `prog`, `prog fdm`, or `prog spectral`;
-// anything else prints usage and the caller exits with the returned status.
+// Shared strict selector parsing for the examples. CI runs each example
+// once per backend AND asserts the failure modes (unknown selector, trailing
+// arguments), so the contract lives in exactly one place: parse succeeds
+// only for `prog` or `prog <backend>`; anything else prints usage and the
+// caller exits with the returned status. Two variants: the transient
+// examples accept the transient-capable pair (fdm|spectral), the steady
+// examples all three backends.
 #pragma once
 
 #include <iostream>
@@ -34,6 +36,34 @@ inline std::optional<core::ThermalBackend> parse_transient_backend(
     if (choice == "fdm") return core::ThermalBackend::Fdm;
     if (choice == "spectral") return core::ThermalBackend::Spectral;
     std::cerr << "unknown transient backend '" << choice << "' (want fdm or spectral)\n";
+    usage();
+    return std::nullopt;
+  }
+  return fallback;
+}
+
+/// Parses argv into a steady backend choice (all three backends legal).
+/// Same strict contract: default on no argument, usage + nullopt on unknown
+/// or trailing arguments. FDM grid sizing stays with the caller — smoke
+/// examples want coarse grids, studies want converged ones.
+inline std::optional<core::ThermalBackend> parse_steady_backend(
+    int argc, char** argv, core::ThermalBackend fallback = core::ThermalBackend::Spectral) {
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0] << " [analytic|fdm|spectral]\n"
+              << "  analytic  closed-form mirror-image influence\n"
+              << "  fdm       finite-difference reference\n"
+              << "  spectral  Green's-function mode space (matrix-free capable)\n";
+  };
+  if (argc > 2) {
+    usage();
+    return std::nullopt;
+  }
+  if (argc == 2) {
+    const std::string choice = argv[1];
+    if (choice == "analytic") return core::ThermalBackend::Analytic;
+    if (choice == "fdm") return core::ThermalBackend::Fdm;
+    if (choice == "spectral") return core::ThermalBackend::Spectral;
+    std::cerr << "unknown backend '" << choice << "' (want analytic, fdm, or spectral)\n";
     usage();
     return std::nullopt;
   }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "device/variation.hpp"
 
 namespace ptherm::core {
 
@@ -46,11 +47,22 @@ void validate(const CosimOptions& opts) {
   PTHERM_REQUIRE(opts.r_package >= 0.0, "CosimOptions: r_package must be >= 0");
 }
 
+double adjusted_leakage_power(const device::Technology& tech,
+                              const floorplan::CompiledBlockLeakage& leakage, double temp,
+                              double vb, const LeakageAdjust& adj) {
+  const double base = leakage.leakage_power(tech, temp, vb);
+  // Nominal adjustments are bitwise transparent: exp(-0/nVT) == 1.0 exactly
+  // and 1.0 * base == base, so this single expression serves both paths.
+  return adj.scale * (device::leakage_multiplier(tech, adj.delta_vt0, temp) * base);
+}
+
 ElectroThermalSolver::ElectroThermalSolver(device::Technology tech, floorplan::Floorplan fp,
                                            CosimOptions opts)
     : tech_(std::move(tech)), fp_(std::move(fp)), opts_(opts) {
   PTHERM_REQUIRE(!fp_.blocks().empty(), "ElectroThermalSolver: empty floorplan");
   validate(opts_);
+  compiled_leakage_.reserve(fp_.blocks().size());
+  for (const auto& block : fp_.blocks()) compiled_leakage_.emplace_back(block);
   backend_ = make_thermal_backend(fp_.die(), opts_);
   build_influence();
 }
@@ -100,7 +112,15 @@ const InfluenceOperator& ElectroThermalSolver::influence_matrix() const {
 }
 
 double ElectroThermalSolver::block_leakage_power(std::size_t i, double temp) const {
-  return fp_.blocks().at(i).leakage_power(tech_, temp, opts_.vb);
+  PTHERM_REQUIRE(i < compiled_leakage_.size(), "block_leakage_power: index out of range");
+  const LeakageAdjust adj = adjust_.empty() ? LeakageAdjust{} : adjust_[i];
+  return adjusted_leakage_power(tech_, compiled_leakage_[i], temp, opts_.vb, adj);
+}
+
+void ElectroThermalSolver::set_leakage_adjust(std::vector<LeakageAdjust> adjust) {
+  PTHERM_REQUIRE(adjust.empty() || adjust.size() == fp_.blocks().size(),
+                 "set_leakage_adjust: need one adjustment per block (or none)");
+  adjust_ = std::move(adjust);
 }
 
 CosimResult ElectroThermalSolver::solve() {

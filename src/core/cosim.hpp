@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/influence.hpp"
+#include "floorplan/compiled_leakage.hpp"
 #include "floorplan/floorplan.hpp"
 #include "thermal/backend.hpp"
 
@@ -82,6 +83,26 @@ struct CosimOptions {
 /// runaway_rise_limit <= 0, or r_package < 0).
 void validate(const CosimOptions& opts);
 
+/// Per-block leakage adjustment a scenario applies on top of the compiled
+/// nominal model: a flat multiplier (gate-count / activity scaling) and a
+/// threshold-voltage offset (process variation; leakage scales by
+/// exp(-dVT0 / (n VT(T))), the Eq. (13) exponent — see device::VariationModel).
+/// The defaults are bitwise transparent: scale 1 and dVT0 0 reproduce the
+/// unadjusted leakage exactly, so nominal scenarios match the plain solver.
+struct LeakageAdjust {
+  double scale = 1.0;      ///< flat leakage multiplier
+  double delta_vt0 = 0.0;  ///< threshold shift [V]
+};
+
+/// Adjusted block leakage power [W]: scale * exp(-dVT0/(n VT)) * base(T).
+/// The ONE expression both the standalone solver (set_leakage_adjust) and
+/// the batched scenario engine evaluate, so the two paths cannot drift —
+/// batched-vs-sequential bitwise equivalence is pinned by tests.
+[[nodiscard]] double adjusted_leakage_power(const device::Technology& tech,
+                                            const floorplan::CompiledBlockLeakage& leakage,
+                                            double temp, double vb,
+                                            const LeakageAdjust& adj);
+
 struct BlockState {
   double temperature = 0.0;  ///< [K]
   double p_dynamic = 0.0;    ///< [W]
@@ -113,8 +134,15 @@ class ElectroThermalSolver {
   [[nodiscard]] CosimResult solve();
 
   /// Leakage power of block `i` at temperature `temp` (exposed for tests and
-  /// for the runaway-analysis bench).
+  /// for the runaway-analysis bench). Evaluated through the compiled per-block
+  /// program (floorplan/compiled_leakage.hpp) — bitwise equal to the Block
+  /// walk, allocation-free — times the block's LeakageAdjust if one is set.
   [[nodiscard]] double block_leakage_power(std::size_t i, double temp) const;
+
+  /// Installs per-block leakage adjustments (one per block; empty clears).
+  /// This is how a single solver reproduces one scenario of a ScenarioBatch
+  /// exactly — the sequential reference path of the batched engine's tests.
+  void set_leakage_adjust(std::vector<LeakageAdjust> adjust);
 
   /// The influence-apply seam the Picard loop iterates through: dense in
   /// Dense mode (and on dense-only backends), the backend's matrix-free
@@ -144,12 +172,24 @@ class ElectroThermalSolver {
   /// of the converged power state (see examples/hotspot_analysis.cpp).
   [[nodiscard]] const thermal::SolverBackend& backend() const noexcept { return *backend_; }
 
+  /// Compiled per-block leakage programs, one per block. ScenarioBatch
+  /// evaluates per-scenario leakage through these same programs, so the two
+  /// paths share one compilation (and cannot diverge).
+  [[nodiscard]] const std::vector<floorplan::CompiledBlockLeakage>& compiled_leakage()
+      const noexcept {
+    return compiled_leakage_;
+  }
+
  private:
   void build_influence();
 
   device::Technology tech_;
   floorplan::Floorplan fp_;
   CosimOptions opts_;
+  /// Compiled leakage programs, one per block (see block_leakage_power).
+  std::vector<floorplan::CompiledBlockLeakage> compiled_leakage_;
+  /// Per-block scenario adjustments; empty means nominal.
+  std::vector<LeakageAdjust> adjust_;
   std::unique_ptr<thermal::SolverBackend> backend_;
   /// Matrix-free operator (set iff the resolved mode is matrix-free).
   std::unique_ptr<thermal::InfluenceApply> matrix_free_;

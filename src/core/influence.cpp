@@ -40,6 +40,14 @@ std::vector<double> InfluenceOperator::apply(std::span<const double> powers) con
   return r_.multiply(powers);
 }
 
+void InfluenceOperator::apply_batch(std::span<const double> powers, std::span<double> rises,
+                                    std::size_t count) const {
+  PTHERM_REQUIRE(powers.size() == count * size() && rises.size() == count * size(),
+                 "InfluenceOperator::apply_batch: powers/rises must have count * size() "
+                 "elements");
+  r_.multiply_batch(powers, rises, count);
+}
+
 std::vector<InfluenceSample> block_centre_samples(const floorplan::Floorplan& fp) {
   std::vector<InfluenceSample> samples;
   samples.reserve(fp.blocks().size());

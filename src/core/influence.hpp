@@ -65,6 +65,12 @@ class InfluenceOperator final : public thermal::InfluenceApply {
   void apply(std::span<const double> powers, std::span<double> rises) const override;
   [[nodiscard]] std::vector<double> apply(std::span<const double> powers) const;
 
+  /// Multi-RHS apply over `count` scenario-major vectors: one
+  /// Matrix::multiply_batch, streaming R once per row for the whole block.
+  /// Per-vector results match apply() bitwise (see multiply_batch).
+  void apply_batch(std::span<const double> powers, std::span<double> rises,
+                   std::size_t count) const override;
+
   [[nodiscard]] std::string_view kind() const noexcept override { return "dense"; }
 
   [[nodiscard]] const numerics::Matrix& matrix() const noexcept { return r_; }

@@ -1,0 +1,301 @@
+#include "core/scenario_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/error.hpp"
+#include "power/dynamic.hpp"
+
+namespace ptherm::core {
+
+void validate(const ScenarioBatchOptions& opts) {
+  PTHERM_REQUIRE(opts.chunk >= 1, "ScenarioBatchOptions: chunk must be >= 1");
+}
+
+void for_each_chunk(std::size_t count, int chunk,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  PTHERM_REQUIRE(chunk >= 1, "for_each_chunk: chunk must be >= 1");
+  const std::size_t step = static_cast<std::size_t>(chunk);
+  for (std::size_t begin = 0; begin < count; begin += step) {
+    fn(begin, std::min(count, begin + step));
+  }
+}
+
+ScenarioBatch::ScenarioBatch(device::Technology tech, floorplan::Floorplan fp,
+                             CosimOptions opts, ScenarioBatchOptions batch)
+    // The solver copies its arguments, leaving `tech` and `fp` intact for the
+    // nominal-state capture below.
+    : opts_(opts), batch_(batch), solver_(tech, fp, opts) {
+  core::validate(batch_);
+  t_sink_ = fp.die().t_sink;
+  nominal_powers_.reserve(fp.blocks().size());
+  for (const auto& block : fp.blocks()) nominal_powers_.push_back(block.p_dynamic);
+  Level nominal;
+  nominal.voltage = tech.vdd;
+  nominal.tech = std::move(tech);
+  levels_.push_back(std::move(nominal));
+}
+
+int ScenarioBatch::add_vf_level(double voltage, double f_scale) {
+  PTHERM_REQUIRE(voltage > 0.0 && f_scale > 0.0,
+                 "add_vf_level: voltage and f_scale must be positive");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].voltage == voltage && levels_[l].f_scale == f_scale) {
+      return static_cast<int>(l);
+    }
+  }
+  Level level;
+  level.voltage = voltage;
+  level.f_scale = f_scale;
+  level.tech = device::at_supply(levels_[0].tech, voltage);
+  // Dynamic scale through the power model (alpha f C VDD^2), same recipe as
+  // the RTM actuator: the ratio against nominal is exactly (V/V0)^2 f_scale.
+  const power::SwitchingContext ctx0;
+  power::SwitchingContext ctx = ctx0;
+  ctx.frequency = ctx0.frequency * f_scale;
+  level.dynamic_scale =
+      power::transient_power(level.tech, ctx) / power::transient_power(levels_[0].tech, ctx0);
+  levels_.push_back(std::move(level));
+  return static_cast<int>(levels_.size()) - 1;
+}
+
+const device::Technology& ScenarioBatch::level_technology(int level) const {
+  PTHERM_REQUIRE(level >= 0 && level < level_count(),
+                 "level_technology: level out of range");
+  return levels_[static_cast<std::size_t>(level)].tech;
+}
+
+double ScenarioBatch::level_dynamic_scale(int level) const {
+  PTHERM_REQUIRE(level >= 0 && level < level_count(),
+                 "level_dynamic_scale: level out of range");
+  return levels_[static_cast<std::size_t>(level)].dynamic_scale;
+}
+
+std::size_t ScenarioBatch::add_scenario(std::vector<double> p_dynamic,
+                                        std::vector<LeakageAdjust> adjust, int level) {
+  const std::size_t n = block_count();
+  PTHERM_REQUIRE(p_dynamic.size() == n, "add_scenario: need one dynamic power per block");
+  PTHERM_REQUIRE(adjust.empty() || adjust.size() == n,
+                 "add_scenario: need one adjustment per block (or none)");
+  PTHERM_REQUIRE(level >= 0 && level < level_count(), "add_scenario: level out of range");
+  powers_.insert(powers_.end(), p_dynamic.begin(), p_dynamic.end());
+  if (adjust.empty()) {
+    adj_scale_.insert(adj_scale_.end(), n, 1.0);
+    adj_dvt0_.insert(adj_dvt0_.end(), n, 0.0);
+  } else {
+    for (const LeakageAdjust& a : adjust) {
+      adj_scale_.push_back(a.scale);
+      adj_dvt0_.push_back(a.delta_vt0);
+    }
+  }
+  level_index_.push_back(static_cast<std::int32_t>(level));
+  return level_index_.size() - 1;
+}
+
+std::size_t ScenarioBatch::add_nominal(int level) {
+  PTHERM_REQUIRE(level >= 0 && level < level_count(), "add_nominal: level out of range");
+  const double scale = levels_[static_cast<std::size_t>(level)].dynamic_scale;
+  std::vector<double> powers = nominal_powers_;
+  for (double& p : powers) p *= scale;  // scale 1.0 at level 0: bitwise no-op
+  return add_scenario(std::move(powers), {}, level);
+}
+
+std::size_t ScenarioBatch::add_variation_samples(const device::VariationModel& var, int count,
+                                                 std::uint64_t base_seed) {
+  PTHERM_REQUIRE(count > 0, "add_variation_samples: count must be > 0");
+  const std::size_t n = block_count();
+  const std::size_t first = size();
+  for (int s = 0; s < count; ++s) {
+    // Stream index = call-local sample number: sample s's offsets are bitwise
+    // the same whether it is queued alone or among millions.
+    const std::vector<double> dvt0 =
+        var.sample_scenario_delta_vt0(n, base_seed, static_cast<std::uint64_t>(s));
+    std::vector<LeakageAdjust> adjust(n);
+    for (std::size_t j = 0; j < n; ++j) adjust[j].delta_vt0 = dvt0[j];
+    add_scenario(nominal_powers_, std::move(adjust), 0);
+  }
+  return first;
+}
+
+std::size_t ScenarioBatch::add_vf_corner(double voltage, double f_scale,
+                                         std::vector<LeakageAdjust> adjust) {
+  const int level = add_vf_level(voltage, f_scale);
+  const double scale = levels_[static_cast<std::size_t>(level)].dynamic_scale;
+  std::vector<double> powers = nominal_powers_;
+  for (double& p : powers) p *= scale;
+  return add_scenario(std::move(powers), std::move(adjust), level);
+}
+
+std::span<const double> ScenarioBatch::scenario_powers(std::size_t k) const {
+  PTHERM_REQUIRE(k < size(), "scenario_powers: scenario out of range");
+  return {powers_.data() + k * block_count(), block_count()};
+}
+
+std::vector<LeakageAdjust> ScenarioBatch::scenario_adjust(std::size_t k) const {
+  PTHERM_REQUIRE(k < size(), "scenario_adjust: scenario out of range");
+  const std::size_t n = block_count();
+  std::vector<LeakageAdjust> adjust(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    adjust[j].scale = adj_scale_[k * n + j];
+    adjust[j].delta_vt0 = adj_dvt0_[k * n + j];
+  }
+  return adjust;
+}
+
+int ScenarioBatch::scenario_level(std::size_t k) const {
+  PTHERM_REQUIRE(k < size(), "scenario_level: scenario out of range");
+  return level_index_[k];
+}
+
+std::vector<ScenarioResult> ScenarioBatch::solve_all() {
+  std::vector<ScenarioResult> results(size());
+  for_each_chunk(size(), batch_.chunk, [&](std::size_t begin, std::size_t end) {
+    run_chunk(begin, end, results);
+  });
+  return results;
+}
+
+// One chunk of scenarios through the blocked Picard sweep. Per iteration:
+// pack the active scenarios' power vectors (dynamic + adjusted leakage at the
+// current temperatures), issue ONE multi-RHS influence apply over all of
+// them, then run each active scenario's fold / damped update / runaway /
+// convergence logic — exactly the statements ElectroThermalSolver::solve
+// executes, in the same order on the same values, so each scenario's
+// trajectory is bitwise the standalone one. Finished scenarios leave the
+// active list (ascending order preserved: a scenario's packed slot index
+// never affects its arithmetic, only its memory placement).
+void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
+                              std::vector<ScenarioResult>& results) {
+  const std::size_t n = block_count();
+  const std::size_t count = end - begin;
+  const auto& compiled = solver_.compiled_leakage();
+  const thermal::InfluenceApply& influence = solver_.influence_apply();
+  // Same split as the standalone solve: dense mode carries the boundary fold
+  // inside the matrix; matrix-free folds r * sum(P) per iteration.
+  const double r_pkg = solver_.matrix_free() ? boundary_fold_resistance(opts_) : 0.0;
+
+  std::vector<double> temps(count * n, t_sink_);
+  std::vector<double> prev_delta(count, 0.0);
+  std::vector<int> growth_streak(count, 0);
+  std::vector<std::size_t> active(count);  // chunk-local indices, ascending
+  std::iota(active.begin(), active.end(), std::size_t{0});
+
+  std::vector<double> powers(count * n);
+  std::vector<double> rises(count * n);
+
+  long long sweeps = 0;
+  const auto finalize = [&](std::size_t local) {
+    const std::size_t k = begin + local;
+    ScenarioResult& res = results[k];
+    const double* temp = temps.data() + local * n;
+    const double* p_dyn = powers_.data() + k * n;
+    const device::Technology& tech = levels_[static_cast<std::size_t>(level_index_[k])].tech;
+    res.temperatures.assign(temp, temp + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const LeakageAdjust adj{adj_scale_[k * n + i], adj_dvt0_[k * n + i]};
+      res.total_dynamic += p_dyn[i];
+      res.total_leakage += adjusted_leakage_power(tech, compiled[i], temp[i], opts_.vb, adj);
+      res.max_temperature = std::max(res.max_temperature, temp[i]);
+    }
+  };
+
+  for (int it = 0; it < opts_.max_iterations && !active.empty(); ++it) {
+    const std::size_t m = active.size();
+    for (std::size_t a = 0; a < m; ++a) {
+      const std::size_t local = active[a];
+      const std::size_t k = begin + local;
+      const double* temp = temps.data() + local * n;
+      const double* p_dyn = powers_.data() + k * n;
+      const device::Technology& tech =
+          levels_[static_cast<std::size_t>(level_index_[k])].tech;
+      double* p = powers.data() + a * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const LeakageAdjust adj{adj_scale_[k * n + j], adj_dvt0_[k * n + j]};
+        p[j] = p_dyn[j] + adjusted_leakage_power(tech, compiled[j], temp[j], opts_.vb, adj);
+      }
+    }
+    influence.apply_batch({powers.data(), m * n}, {rises.data(), m * n}, m);
+    ++sweeps;
+
+    std::size_t keep = 0;
+    for (std::size_t a = 0; a < m; ++a) {
+      const std::size_t local = active[a];
+      const std::size_t k = begin + local;
+      ScenarioResult& res = results[k];
+      res.iterations = it + 1;
+      double* temp = temps.data() + local * n;
+      const double* p = powers.data() + a * n;
+      double* rise = rises.data() + a * n;
+      if (r_pkg > 0.0) {
+        double p_total = 0.0;
+        for (std::size_t j = 0; j < n; ++j) p_total += p[j];
+        const double pkg_rise = r_pkg * p_total;
+        for (std::size_t i = 0; i < n; ++i) rise[i] += pkg_rise;
+      }
+      double max_delta = 0.0;
+      double max_rise = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double target = t_sink_ + rise[i];
+        const double updated = temp[i] + opts_.damping * (target - temp[i]);
+        max_delta = std::max(max_delta, std::abs(updated - temp[i]));
+        temp[i] = updated;
+        max_rise = std::max(max_rise, temp[i] - t_sink_);
+      }
+      res.max_delta_last = max_delta;
+
+      bool done = false;
+      if (max_rise > opts_.runaway_rise_limit) {
+        res.runaway = true;
+        done = true;
+      } else {
+        if (max_delta > prev_delta[local] && it > 0) {
+          if (++growth_streak[local] >= 10) {
+            res.runaway = true;
+            done = true;
+          }
+        } else {
+          growth_streak[local] = 0;
+        }
+        if (!done) {
+          prev_delta[local] = max_delta;
+          if (max_delta < opts_.tol) {
+            res.converged = true;
+            done = true;
+          }
+        }
+      }
+
+      if (done) {
+        finalize(local);
+      } else {
+        active[keep++] = local;  // compaction keeps ascending order
+      }
+    }
+    active.resize(keep);
+  }
+  // Survivors of max_iterations: not converged, not runaway — same verdict a
+  // standalone solve reaches when its loop runs out.
+  for (const std::size_t local : active) finalize(local);
+
+  long long iterations_sum = 0;
+  for (std::size_t k = begin; k < end; ++k) iterations_sum += results[k].iterations;
+  stats_.scenarios += static_cast<long long>(count);
+  stats_.batched_matvecs += sweeps;
+  stats_.picard_iterations_total += iterations_sum;
+  // Scenario-iterations the masks avoided: without masking every scenario
+  // would ride all `sweeps` blocked applies.
+  stats_.masked_iterations_saved += static_cast<long long>(count) * sweeps - iterations_sum;
+}
+
+thermal::BackendCostStats ScenarioBatch::cost_stats() const {
+  thermal::BackendCostStats stats = solver_.backend().cost_stats();
+  stats.scenarios = stats_.scenarios;
+  stats.batched_matvecs = stats_.batched_matvecs;
+  stats.picard_iterations_total = stats_.picard_iterations_total;
+  stats.masked_iterations_saved = stats_.masked_iterations_saved;
+  return stats;
+}
+
+}  // namespace ptherm::core

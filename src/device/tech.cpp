@@ -94,4 +94,13 @@ Technology Technology::scaled_node(double feature_um) {
   return t;
 }
 
+Technology at_supply(const Technology& tech, double v) {
+  Technology t = tech;
+  t.vdd = v;
+  const double dibl_shift = t.sigma_dibl * (tech.vdd - t.vdd);
+  t.vt0_n += dibl_shift;
+  t.vt0_p += dibl_shift;
+  return t;
+}
+
 }  // namespace ptherm::device

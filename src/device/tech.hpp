@@ -73,4 +73,17 @@ struct Technology {
   static Technology scaled_node(double feature_um);
 };
 
+/// `tech` rewritten to supply voltage `v` with the DIBL-consistent threshold
+/// shift. The leakage model's vt0 is characterized at VDS = the technology's
+/// nominal VDD (threshold_voltage subtracts sigma * (vds - tech.vdd)), so
+/// rewriting vdd alone would silently move the characterization point with
+/// it and erase the DIBL benefit of supply scaling. Shifting vt0 by
+/// sigma * (v_nominal - v) keeps the PHYSICAL device fixed: at a lower
+/// supply the OFF transistor sees less drain-induced barrier lowering, so
+/// its threshold is effectively higher and leakage falls exponentially.
+/// The ONE supply-rewrite rule — the RTM actuator's per-level technologies
+/// and the batched scenario engine's V/f corner levels both come from here,
+/// so a corner screened in batch is the same device an RTM run throttles to.
+[[nodiscard]] Technology at_supply(const Technology& tech, double v);
+
 }  // namespace ptherm::device

@@ -7,6 +7,11 @@
 
 namespace ptherm::device {
 
+double leakage_multiplier(const Technology& tech, double delta_vt0, double temp) noexcept {
+  const double nvt = tech.n_swing * thermal_voltage(temp);
+  return std::exp(-delta_vt0 / nvt);
+}
+
 double VariationModel::sample_delta_vt0(Rng& rng) const {
   // Box-Muller; one draw per call keeps the stream reproducible and simple.
   const double u1 = std::max(rng.uniform(), 1e-300);
@@ -15,10 +20,18 @@ double VariationModel::sample_delta_vt0(Rng& rng) const {
   return sigma_vt0 * z;
 }
 
+std::vector<double> VariationModel::sample_scenario_delta_vt0(std::size_t count,
+                                                              std::uint64_t base_seed,
+                                                              std::uint64_t index) const {
+  Rng rng = Rng::stream(base_seed, index);
+  std::vector<double> offsets(count);
+  for (double& dvt0 : offsets) dvt0 = sample_delta_vt0(rng);
+  return offsets;
+}
+
 double VariationModel::leakage_multiplier(const Technology& tech, double delta_vt0,
                                           double temp) const noexcept {
-  const double nvt = tech.n_swing * thermal_voltage(temp);
-  return std::exp(-delta_vt0 / nvt);
+  return device::leakage_multiplier(tech, delta_vt0, temp);
 }
 
 double VariationModel::sigma_log(const Technology& tech, double temp) const noexcept {

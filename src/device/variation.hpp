@@ -7,10 +7,20 @@
 // needs on top of it.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "device/tech.hpp"
 
 namespace ptherm::device {
+
+/// Leakage multiplier implied by a VT0 offset at temperature `temp`:
+/// exp(-dVT0 / (n VT)) — exact for any collapsed equivalent device, since
+/// Eq. (13) carries VT0 only in the exponent. Free-function form shared by
+/// VariationModel and the batched scenario engine's per-block adjustments.
+[[nodiscard]] double leakage_multiplier(const Technology& tech, double delta_vt0,
+                                        double temp) noexcept;
 
 /// Gaussian threshold variation (per-gate, fully correlated within a gate —
 /// the pessimistic-but-simple granularity).
@@ -19,6 +29,15 @@ struct VariationModel {
 
   /// Draws one VT0 offset [V] (Box-Muller on the deterministic Rng).
   [[nodiscard]] double sample_delta_vt0(Rng& rng) const;
+
+  /// Draws `count` VT0 offsets for scenario `index` from its dedicated
+  /// decorrelated stream Rng::stream(base_seed, index). The draws are bitwise
+  /// identical whether the scenario is sampled alone or inside an arbitrarily
+  /// large batch — adding, removing, or reordering other scenarios never
+  /// perturbs them.
+  [[nodiscard]] std::vector<double> sample_scenario_delta_vt0(std::size_t count,
+                                                              std::uint64_t base_seed,
+                                                              std::uint64_t index) const;
 
   /// Leakage multiplier implied by a VT0 offset at temperature `temp`:
   /// exp(-dVT0 / (n VT)) — exact for any collapsed equivalent device, since

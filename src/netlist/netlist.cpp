@@ -86,7 +86,7 @@ double optimize_standby_vectors(Netlist& netlist, const device::Technology& tech
 
 VariationStats variation_leakage(const Netlist& netlist, const device::Technology& tech,
                                  const device::VariationModel& var, double temp,
-                                 int samples, Rng& rng, double vb) {
+                                 int samples, std::uint64_t seed, double vb) {
   PTHERM_REQUIRE(samples >= 1, "variation_leakage: need at least one sample");
   VariationStats stats;
   // Per-instance nominal currents are sampled-state invariant: compute once.
@@ -100,6 +100,8 @@ VariationStats variation_leakage(const Netlist& netlist, const device::Technolog
   totals.reserve(samples);
   double sum = 0.0, sum_sq = 0.0;
   for (int s = 0; s < samples; ++s) {
+    // Per-sample stream: sample s never depends on how many samples precede it.
+    Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(s));
     double total = 0.0;
     for (double i_nom : nominal) {
       total += i_nom * var.leakage_multiplier(tech, var.sample_delta_vt0(rng), temp);

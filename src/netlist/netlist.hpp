@@ -70,7 +70,10 @@ double optimize_standby_vectors(Netlist& netlist, const device::Technology& tech
 /// Variation-aware leakage: Monte Carlo over per-gate Gaussian VT0 offsets
 /// with fixed input states. Returns sample statistics of the total OFF
 /// current; the mean exceeds the nominal by ~exp(s^2/2) (lognormal penalty,
-/// see device::VariationModel).
+/// see device::VariationModel). Sample `s` draws from the dedicated stream
+/// Rng::stream(seed, s), so each sample is bitwise identical whether drawn
+/// alone or inside any batch size — one shared sequential Rng would couple
+/// every sample to the count and order of the ones before it.
 struct VariationStats {
   double nominal = 0.0;  ///< total at zero variation [A]
   double mean = 0.0;
@@ -79,6 +82,6 @@ struct VariationStats {
 };
 VariationStats variation_leakage(const Netlist& netlist, const device::Technology& tech,
                                  const device::VariationModel& var, double temp,
-                                 int samples, Rng& rng, double vb = 0.0);
+                                 int samples, std::uint64_t seed, double vb = 0.0);
 
 }  // namespace ptherm::netlist

@@ -28,6 +28,24 @@ void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
   }
 }
 
+void Matrix::multiply_batch(std::span<const double> xs, std::span<double> ys,
+                            std::size_t count) const {
+  PTHERM_REQUIRE(xs.size() == count * cols_ && ys.size() == count * rows_,
+                 "matrix-batch size mismatch");
+  // Row outer, vectors inner: each row of A is read once for the whole
+  // batch. Within one (row, vector) pair the dot runs in ascending column
+  // order, exactly as multiply() — the per-vector results match bitwise.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (std::size_t k = 0; k < count; ++k) {
+      const double* x = &xs[k * cols_];
+      double sum = 0.0;
+      for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+      ys[k * rows_ + r] = sum;
+    }
+  }
+}
+
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
   PTHERM_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
   const std::size_t n = lu_.rows();

@@ -34,6 +34,14 @@ class Matrix {
   /// (e.g. the electro-thermal fixed point's influence matvec) iterate on.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
+  /// Multi-RHS form: `count` input vectors stored contiguously
+  /// (xs[k*cols() + c]) into `count` output vectors (ys[k*rows() + r]). Each
+  /// vector's result is bitwise identical to multiply() on it alone — the
+  /// blocking reorders work across vectors only (A is streamed once per row
+  /// instead of once per vector), never within one row-dot.
+  void multiply_batch(std::span<const double> xs, std::span<double> ys,
+                      std::size_t count) const;
+
   [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
 
  private:

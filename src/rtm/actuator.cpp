@@ -79,19 +79,11 @@ Actuator::Actuator(device::Technology tech, floorplan::Floorplan fp, VfLadder la
   const double p0 = power::transient_power(t0, ctx0);
   PTHERM_ASSERT(p0 > 0.0, "Actuator: degenerate nominal operating point");
   for (int l = 0; l < nl; ++l) {
-    device::Technology tl = tech_;
-    tl.vdd = ladder_.at(l).voltage;
-    // The leakage model's vt0 is characterized at VDS = the technology's
-    // nominal VDD (threshold_voltage subtracts sigma * (vds - tech.vdd)), so
-    // rewriting vdd alone would silently move the characterization point
-    // with it and erase the DIBL benefit of supply scaling. Shifting vt0 by
-    // sigma * (v_nominal - v_level) keeps the PHYSICAL device fixed: at the
-    // lower supply the OFF transistor sees less drain-induced barrier
-    // lowering, so its threshold is effectively higher and leakage falls
-    // exponentially — the voltage-dependent leakage the RTM loop feeds back.
-    const double dibl_shift = tl.sigma_dibl * (tech_.vdd - tl.vdd);
-    tl.vt0_n += dibl_shift;
-    tl.vt0_p += dibl_shift;
+    // The DIBL-consistent supply rewrite (see device::at_supply): at a lower
+    // supply the OFF transistor sees less drain-induced barrier lowering, so
+    // its effective threshold rises and leakage falls exponentially — the
+    // voltage-dependent leakage the RTM loop feeds back.
+    device::Technology tl = device::at_supply(tech_, ladder_.at(l).voltage);
     power::SwitchingContext ctx = ctx0;
     ctx.frequency = ladder_.at(l).frequency;
     scales_[l] = power::transient_power(tl, ctx) / p0;

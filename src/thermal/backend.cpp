@@ -10,6 +10,17 @@
 
 namespace ptherm::thermal {
 
+void InfluenceApply::apply_batch(std::span<const double> powers, std::span<double> rises,
+                                 std::size_t count) const {
+  PTHERM_REQUIRE(powers.size() == count * size() && rises.size() == count * size(),
+                 "InfluenceApply::apply_batch: powers/rises must have count * size() elements");
+  // The contract's reference implementation: one apply per vector, trivially
+  // bitwise-identical. Backends override to amortize shared-table traffic.
+  for (std::size_t k = 0; k < count; ++k) {
+    apply(powers.subspan(k * size(), size()), rises.subspan(k * size(), size()));
+  }
+}
+
 std::unique_ptr<InfluenceApply> SolverBackend::make_influence_apply(
     std::span<const HeatSource>, std::span<const SurfaceSample>) const {
   std::ostringstream os;
@@ -296,6 +307,14 @@ class SpectralInfluenceApply final : public InfluenceApply {
     PTHERM_REQUIRE(powers.size() == proj_.count && rises.size() == proj_.count,
                    "InfluenceApply::apply: powers/rises must have size() elements");
     solver_->apply_influence(proj_, powers, rises);
+  }
+
+  void apply_batch(std::span<const double> powers, std::span<double> rises,
+                   std::size_t count) const override {
+    PTHERM_REQUIRE(powers.size() == count * proj_.count && rises.size() == count * proj_.count,
+                   "InfluenceApply::apply_batch: powers/rises must have count * size() "
+                   "elements");
+    solver_->apply_influence_batch(proj_, powers, rises, count);
   }
 
   [[nodiscard]] std::string_view kind() const noexcept override {

@@ -47,6 +47,15 @@ struct BackendCostStats {
   /// hold powers between control decisions, so this counts epochs — the gap
   /// to transient_steps is what the epoch caches saved.
   long long transient_power_updates = 0;
+  // Batched scenario engine (core/scenario_batch) counters, merged in by
+  // ScenarioBatch::cost_stats() on top of the backend's own fields.
+  long long scenarios = 0;            ///< scenario solves completed
+  long long batched_matvecs = 0;      ///< multi-RHS influence applies issued
+  long long picard_iterations_total = 0;  ///< sum of per-scenario iterations
+  /// Scenario-iterations the convergence masks avoided: what the blocked
+  /// sweeps would have cost had every scenario run as long as the slowest
+  /// one in its chunk, minus what they actually cost.
+  long long masked_iterations_saved = 0;
 };
 
 /// The influence-apply seam: `rises = R * powers` as an abstract operator,
@@ -64,6 +73,15 @@ class InfluenceApply {
   /// rises[i] = sum_j R[i][j] * powers[j] [K]; both spans must have size()
   /// elements (throws ptherm::PreconditionError otherwise).
   virtual void apply(std::span<const double> powers, std::span<double> rises) const = 0;
+
+  /// Multi-RHS apply for the batched scenario engine: `count` power vectors
+  /// stored contiguously (powers[k*size() + j]) into `count` rise vectors of
+  /// the same layout. Contract: vector k's rises must be BITWISE identical
+  /// to apply() on it alone — implementations may only reorder work across
+  /// vectors (streaming shared tables once per block), never within one
+  /// vector's arithmetic. The default is exactly that serial loop.
+  virtual void apply_batch(std::span<const double> powers, std::span<double> rises,
+                           std::size_t count) const;
 
   /// Implementation tag for diagnostics and tests ("dense",
   /// "spectral-mode-space").

@@ -135,6 +135,9 @@ class SpectralThermalSolver {
     std::vector<double> cos_x;   ///< cos(m pi x_i / W) tables, modes_x per sample
     std::vector<double> cos_y;   ///< cos(n pi y_i / H) tables, modes_y per sample
     std::vector<double> coeff;   ///< mode-space scratch (mode_count())
+    /// Mode-space scratch for apply_influence_batch: one coeff block per
+    /// scenario, grown on demand to count * mode_count().
+    std::vector<double> batch_coeff;
   };
 
   /// Builds the influence projection for fixed source geometry and sample
@@ -151,6 +154,17 @@ class SpectralThermalSolver {
   /// spans must have proj.count elements.
   void apply_influence(InfluenceProjection& proj, std::span<const double> powers,
                        std::span<double> rises) const;
+
+  /// Multi-RHS apply_influence for the batched scenario engine: `count`
+  /// power vectors (powers[k*count_per + j], scenario-major) into `count`
+  /// rise vectors of the same layout. The projection/synthesis tables are
+  /// streamed once per source/sample for the whole scenario block — the
+  /// mode-space accumulate becomes a small GEMM over the block — but each
+  /// scenario's arithmetic keeps apply_influence's exact operation order, so
+  /// scenario k's rises are bitwise identical to a standalone apply of its
+  /// power vector.
+  void apply_influence_batch(InfluenceProjection& proj, std::span<const double> powers,
+                             std::span<double> rises, std::size_t count) const;
 
   /// Transient field in mode space: per-(lateral mode, z-mode) amplitudes
   /// plus the synthesized surface solution, and the two step caches — the

@@ -1,0 +1,118 @@
+// Tests for the compiled per-block leakage programs: bitwise agreement with
+// the uncompiled Block walk across temperatures, supplies, and body bias;
+// technology independence of one compiled program; and the error contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "device/tech.hpp"
+#include "floorplan/compiled_leakage.hpp"
+#include "floorplan/floorplan.hpp"
+#include "floorplan/generators.hpp"
+#include "leakage/gate.hpp"
+
+namespace ptherm::floorplan {
+namespace {
+
+using device::Technology;
+using leakage::GateTopology;
+using leakage::SpNetwork;
+
+Technology tech() { return Technology::cmos012(); }
+
+thermal::Die die_1mm() {
+  thermal::Die d;
+  d.width = 1e-3;
+  d.height = 1e-3;
+  d.thickness = 350e-6;
+  d.k_si = 148.0;
+  d.t_sink = 318.15;
+  return d;
+}
+
+floorplan::Floorplan generated_plan() {
+  Rng rng(17);
+  GeneratorConfig cfg;
+  cfg.total_dynamic_power = 2.0;
+  cfg.gates_per_mm2 = 50e3;
+  return make_uniform_grid(tech(), die_1mm(), 3, 3, cfg, rng);
+}
+
+TEST(CompiledLeakage, BitwiseEqualsBlockWalkOnGeneratedBlocks) {
+  const auto fp = generated_plan();
+  for (const Block& block : fp.blocks()) {
+    const CompiledBlockLeakage compiled(block);
+    for (const double temp : {280.0, 300.0, 318.15, 360.0, 400.0}) {
+      EXPECT_EQ(compiled.leakage_current(tech(), temp),
+                block.leakage_current(tech(), temp))
+          << block.name << " at " << temp << " K";
+      EXPECT_EQ(compiled.leakage_power(tech(), temp), block.leakage_power(tech(), temp));
+    }
+  }
+}
+
+TEST(CompiledLeakage, BitwiseUnderBodyBias) {
+  const auto fp = generated_plan();
+  const Block& block = fp.blocks().front();
+  const CompiledBlockLeakage compiled(block);
+  for (const double vb : {-0.3, -0.1, 0.0}) {
+    EXPECT_EQ(compiled.leakage_current(tech(), 330.0, vb),
+              block.leakage_current(tech(), 330.0, vb));
+  }
+}
+
+TEST(CompiledLeakage, OneProgramServesEveryTechnology) {
+  // The program caches nothing tech- or temp-dependent, so the SAME compiled
+  // block evaluates V/f corner technologies bitwise — the property the
+  // batched scenario engine leans on.
+  const auto fp = generated_plan();
+  const Block& block = fp.blocks()[4];
+  const CompiledBlockLeakage compiled(block);
+  for (const double v_frac : {0.7, 0.85, 1.0, 1.1}) {
+    const Technology corner = device::at_supply(tech(), tech().vdd * v_frac);
+    EXPECT_EQ(compiled.leakage_current(corner, 345.0),
+              block.leakage_current(corner, 345.0))
+        << "supply fraction " << v_frac;
+  }
+}
+
+TEST(CompiledLeakage, EmptyBlockLeaksNothing) {
+  Block block;
+  block.name = "empty";
+  block.rect = {0.0, 0.0, 1e-4, 1e-4};
+  EXPECT_EQ(CompiledBlockLeakage(block).leakage_current(tech(), 300.0), 0.0);
+  EXPECT_EQ(CompiledBlockLeakage().leakage_current(tech(), 300.0), 0.0);
+}
+
+TEST(CompiledLeakage, CompileTimeErrorsMirrorTheLazyWalk) {
+  // The uncompiled path throws on first evaluation; compilation front-loads
+  // the same contract to construction.
+  constexpr double kW = 0.5e-6;
+  auto gate = std::make_shared<GateTopology>();
+  gate->name = "inv";
+  gate->pull_up = SpNetwork::device(0, kW);
+  gate->pull_down = SpNetwork::device(0, kW);
+  gate->length = 0.13e-6;
+
+  Block block;
+  block.name = "bad";
+  block.rect = {0.0, 0.0, 1e-4, 1e-4};
+  block.gate_groups.push_back({gate, {true}, 10.0});
+  EXPECT_NO_THROW(CompiledBlockLeakage{block});
+
+  Block wrong_inputs = block;
+  wrong_inputs.gate_groups[0].inputs = {};  // too few for a 1-input gate
+  EXPECT_THROW(CompiledBlockLeakage{wrong_inputs}, PreconditionError);
+
+  Block bad_length = block;
+  auto zero_len = std::make_shared<GateTopology>(*gate);
+  zero_len->length = 0.0;
+  bad_length.gate_groups[0].gate = zero_len;
+  EXPECT_THROW(CompiledBlockLeakage{bad_length}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace ptherm::floorplan

@@ -62,6 +62,40 @@ TEST(Variation, PenaltyShrinksWhenHot) {
   EXPECT_GT(var.mean_multiplier(tech(), 300.0), var.mean_multiplier(tech(), 400.0));
 }
 
+TEST(Variation, FreeMultiplierMatchesTheMemberForm) {
+  const VariationModel var{0.03};
+  for (const double dvt0 : {-0.05, 0.0, 0.02}) {
+    EXPECT_EQ(leakage_multiplier(tech(), dvt0, 330.0),
+              var.leakage_multiplier(tech(), dvt0, 330.0));
+  }
+}
+
+TEST(Variation, ScenarioStreamsAreIndexedNotShared) {
+  // Scenario s draws from Rng::stream(seed, s): the draws depend ONLY on
+  // (seed, s, count) — never on how many other scenarios were sampled, in
+  // what order, or from the same model object. This is the fix for the
+  // shared-RNG coupling where enlarging a study perturbed existing samples.
+  const VariationModel var{0.03};
+  const auto lone = var.sample_scenario_delta_vt0(9, /*base_seed=*/42, /*index=*/3);
+  std::vector<std::vector<double>> batch;
+  for (std::uint64_t s = 0; s < 10000; ++s) {
+    batch.push_back(var.sample_scenario_delta_vt0(9, 42, s));
+  }
+  ASSERT_EQ(lone.size(), 9u);
+  for (std::size_t j = 0; j < lone.size(); ++j) {
+    EXPECT_EQ(lone[j], batch[3][j]);  // bitwise: alone vs inside the 10k sweep
+  }
+  // The draws really come from the dedicated stream...
+  Rng stream = Rng::stream(42, 3);
+  for (std::size_t j = 0; j < lone.size(); ++j) {
+    EXPECT_EQ(lone[j], var.sample_delta_vt0(stream));
+  }
+  // ...and adjacent indices are decorrelated streams, not shifted copies of
+  // one sequence (the trap Rng(seed + s) would fall into).
+  EXPECT_NE(batch[4][0], batch[3][1]);
+  EXPECT_NE(batch[4][0], batch[3][0]);
+}
+
 }  // namespace
 }  // namespace ptherm::device
 
@@ -78,8 +112,7 @@ TEST(VariationLeakage, MeanExceedsNominalByTheLognormalFactor) {
   const CellLibrary lib(tech());
   const auto nl = make_random_netlist(lib, 400, build);
   const VariationModel var{0.035};
-  Rng mc(4);
-  const auto stats = variation_leakage(nl, tech(), var, 300.0, 300, mc);
+  const auto stats = variation_leakage(nl, tech(), var, 300.0, 300, /*seed=*/4);
   EXPECT_NEAR(stats.nominal, nl.total_off_current(tech(), 300.0), 1e-15);
   const double expected_penalty = var.mean_multiplier(tech(), 300.0);
   EXPECT_NEAR(stats.mean / stats.nominal, expected_penalty, 0.1 * expected_penalty);
@@ -91,11 +124,10 @@ TEST(VariationLeakage, ZeroSigmaIsDeterministic) {
   Rng build(5);
   const CellLibrary lib(tech());
   const auto nl = make_random_netlist(lib, 50, build);
-  Rng mc(6);
-  const auto stats = variation_leakage(nl, tech(), VariationModel{0.0}, 300.0, 20, mc);
+  const auto stats = variation_leakage(nl, tech(), VariationModel{0.0}, 300.0, 20, /*seed=*/6);
   EXPECT_NEAR(stats.mean, stats.nominal, 1e-12 * stats.nominal);
   EXPECT_LT(stats.stddev, 1e-6 * stats.nominal);  // catastrophic-cancel noise only
-  EXPECT_THROW(variation_leakage(nl, tech(), VariationModel{0.0}, 300.0, 0, mc),
+  EXPECT_THROW(variation_leakage(nl, tech(), VariationModel{0.0}, 300.0, 0, /*seed=*/6),
                PreconditionError);
 }
 
@@ -107,8 +139,7 @@ TEST(VariationLeakage, ManyGatesAverageOut) {
   auto rel_spread = [&](int gates, std::uint64_t seed) {
     Rng build(seed);
     const auto nl = make_random_netlist(lib, gates, build);
-    Rng mc(seed + 1);
-    const auto s = variation_leakage(nl, tech(), var, 300.0, 200, mc);
+    const auto s = variation_leakage(nl, tech(), var, 300.0, 200, seed + 1);
     return s.stddev / s.mean;
   };
   EXPECT_GT(rel_spread(50, 11), 2.0 * rel_spread(800, 13));
