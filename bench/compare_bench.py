@@ -30,6 +30,9 @@ SOLVER_COUNTERS = (
     "transient_steps",
     "fft_calls",
     "batched_matvecs",
+    "newton_iterations",
+    "homotopy_steps",
+    "outer_iterations",
 )
 
 

@@ -13,7 +13,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 LABEL="${2:-seed}"
 OUT="$REPO_ROOT/BENCH_${LABEL}.json"
 
-BENCHES=(speed_batch speed_cosim speed_layered speed_leakage speed_manycore speed_rtm speed_thermal)
+BENCHES=(speed_batch speed_cosim speed_layered speed_leakage speed_manycore speed_rtm speed_spice speed_thermal)
 TMPDIR="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR"' EXIT
 

@@ -1,0 +1,140 @@
+// Speed study S7 (electro-thermal SPICE): the device-level self-heating
+// solve introduced in PR 9 — an outer T <- t_sink + R * P(T) fixed point
+// wrapped around the recovery-ladder DC Newton — plus the ladder itself on
+// circuits that exercise each rung. The counters pin the solver trajectory:
+// a future change that "speeds up" a solve by taking more Newton iterations
+// or extra homotopy rungs shows up as a counter regression, not a silent
+// convergence change.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "device/mosfet.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/electrothermal.hpp"
+#include "thermal/backend.hpp"
+
+namespace {
+
+using namespace ptherm;
+using device::MosModel;
+using device::MosType;
+using device::Technology;
+
+Technology tech() { return Technology::cmos012(); }
+
+/// Inverter chain: n stages between vdd and ground, each output loading the
+/// next gate — the plain-ladder workhorse circuit.
+spice::Circuit inverter_chain(int n) {
+  spice::Circuit ckt;
+  const Technology t = tech();
+  const auto vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), t.vdd);
+  auto in = ckt.node("in");
+  ckt.add_vsource("VIN", in, spice::Circuit::ground(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto out = ckt.node("s" + std::to_string(i));
+    ckt.add_mosfet("MN" + std::to_string(i), out, in, spice::Circuit::ground(),
+                   spice::Circuit::ground(), MosModel(t, MosType::Nmos, 0.32e-6, t.l_drawn));
+    ckt.add_mosfet("MP" + std::to_string(i), out, in, vdd, vdd,
+                   MosModel(t, MosType::Pmos, 0.8e-6, t.l_drawn));
+    in = out;
+  }
+  return ckt;
+}
+
+/// Cross-coupled inverter latch: at a starved iteration budget the plain
+/// gmin ladder fails around the metastable point and source stepping
+/// carries the solve — the full escalation path.
+spice::Circuit latch() {
+  spice::Circuit ckt;
+  const Technology t = tech();
+  const double wn = 0.32e-6;
+  const auto vdd = ckt.node("vdd");
+  const auto q = ckt.node("q");
+  const auto qb = ckt.node("qb");
+  ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), t.vdd);
+  ckt.add_mosfet("MN1", q, qb, spice::Circuit::ground(), spice::Circuit::ground(),
+                 MosModel(t, MosType::Nmos, wn, t.l_drawn));
+  ckt.add_mosfet("MP1", q, qb, vdd, vdd, MosModel(t, MosType::Pmos, 2.5 * wn, t.l_drawn));
+  ckt.add_mosfet("MN2", qb, q, spice::Circuit::ground(), spice::Circuit::ground(),
+                 MosModel(t, MosType::Nmos, wn, t.l_drawn));
+  ckt.add_mosfet("MP2", qb, q, vdd, vdd, MosModel(t, MosType::Pmos, 2.5 * wn, t.l_drawn));
+  return ckt;
+}
+
+void record_report(benchmark::State& state, const spice::SolveReport& report) {
+  state.counters["newton_iterations"] = static_cast<double>(report.newton_iterations);
+  state.counters["homotopy_steps"] = static_cast<double>(report.homotopy_steps);
+  state.counters["rungs"] = static_cast<double>(report.rungs.size());
+  state.counters["converged"] = report.converged ? 1.0 : 0.0;
+}
+
+void BM_DcInverterChain(benchmark::State& state) {
+  const auto ckt = inverter_chain(static_cast<int>(state.range(0)));
+  spice::DcSolution last;
+  for (auto _ : state) {
+    last = spice::solve_dc(ckt);
+    benchmark::DoNotOptimize(last);
+  }
+  record_report(state, last.report);
+}
+BENCHMARK(BM_DcInverterChain)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_DcRecoveryLadderLatch(benchmark::State& state) {
+  // Budget tight enough that the plain ladder fails and source stepping
+  // carries the solve — the full escalation path, timed.
+  const auto ckt = latch();
+  spice::DcOptions opts;
+  opts.max_iterations = 6;
+  spice::DcSolution last;
+  for (auto _ : state) {
+    last = spice::solve_dc(ckt, opts);
+    benchmark::DoNotOptimize(last);
+  }
+  record_report(state, last.report);
+}
+BENCHMARK(BM_DcRecoveryLadderLatch)->Unit(benchmark::kMicrosecond);
+
+void BM_DcSelfHeating(benchmark::State& state) {
+  // The PR-9 headline: per-device self-heating closed through the thermal
+  // backend's influence seam, outer fixed point around the DC solve. One
+  // wide near-threshold NMOS on a poorly-cooled die, ~27 K of self-heating.
+  thermal::Die die;
+  die.width = 100e-6;
+  die.height = 100e-6;
+  die.thickness = 300e-6;
+  die.k_si = 4.0;
+  die.t_sink = 300.0;
+  thermal::AnalyticImagesBackend backend(die);
+
+  spice::Circuit ckt;
+  const Technology t = tech();
+  const auto vdd = ckt.node("vdd");
+  const auto gate = ckt.node("gate");
+  ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), t.vdd);
+  ckt.add_vsource("VG", gate, spice::Circuit::ground(), 0.30);
+  ckt.add_mosfet("MHOT", vdd, gate, spice::Circuit::ground(), spice::Circuit::ground(),
+                 MosModel(t, MosType::Nmos, 200e-6, t.l_drawn));
+  const std::vector<spice::DeviceFootprint> footprints = {
+      {"MHOT", 50e-6, 50e-6, 10e-6, 10e-6}};
+
+  spice::ElectroThermalDcOptions opts;
+  opts.t_sink = die.t_sink;
+  opts.dc.temp = die.t_sink;
+
+  spice::ElectroThermalDcSolution last;
+  for (auto _ : state) {
+    last = spice::solve_electrothermal_dc(ckt, backend, footprints, opts);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["newton_iterations"] =
+      static_cast<double>(last.dc.report.newton_iterations);
+  state.counters["homotopy_steps"] = static_cast<double>(last.dc.report.homotopy_steps);
+  state.counters["outer_iterations"] = static_cast<double>(last.outer_iterations);
+  state.counters["converged"] = last.converged ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DcSelfHeating)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Device-level thermal runaway at the SPICE substrate: ONE wide NMOS biased
+// just below threshold on a small, poorly-cooled die, solved with the
+// electro-thermal DC coupling (spice/electrothermal.hpp). Subthreshold
+// current roughly doubles every ~15 K, so the loop gain R * dP/dT crosses 1
+// somewhere between a 300 K and a 325 K heat sink: the cold sink converges
+// to a self-consistent operating point a few tens of kelvin up, the hot sink
+// diverges — and the solver FLAGS the divergence, returning the real runaway
+// iterate instead of clamping it into a fake steady state (the same policy
+// the block-level cosim pins).
+//
+// Build & run:  ./examples/runaway_circuit
+#include <cstdio>
+
+#include "device/mosfet.hpp"
+#include "spice/circuit.hpp"
+#include "spice/electrothermal.hpp"
+#include "thermal/backend.hpp"
+
+int main() {
+  using namespace ptherm;
+  using device::MosModel;
+  using device::MosType;
+
+  const auto tech = device::Technology::cmos012();
+
+  // 100 um x 100 um die, 300 um to the sink, conductivity knocked down to
+  // mimic a badly heat-sunk test structure: ~mW of subthreshold power buys
+  // tens of kelvin of self-heating.
+  const auto make_die = [](double t_sink) {
+    thermal::Die d;
+    d.width = 100e-6;
+    d.height = 100e-6;
+    d.thickness = 300e-6;
+    d.k_si = 4.0;
+    d.t_sink = t_sink;
+    return d;
+  };
+
+  spice::Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto gate = ckt.node("gate");
+  ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), tech.vdd);
+  ckt.add_vsource("VG", gate, spice::Circuit::ground(), 0.30);
+  ckt.add_mosfet("MHOT", vdd, gate, spice::Circuit::ground(), spice::Circuit::ground(),
+                 MosModel(tech, MosType::Nmos, 200e-6, tech.l_drawn));
+
+  const std::vector<spice::DeviceFootprint> footprints = {
+      {"MHOT", 50e-6, 50e-6, 10e-6, 10e-6}};
+
+  std::printf("%-8s %-10s %-10s %-8s %-8s %s\n", "sink[K]", "Tdev[K]", "P[mW]", "outer",
+              "status", "note");
+  for (const double t_sink : {300.0, 310.0, 320.0, 325.0}) {
+    thermal::AnalyticImagesBackend backend(make_die(t_sink));
+    spice::ElectroThermalDcOptions opts;
+    opts.t_sink = t_sink;
+    opts.dc.temp = t_sink;
+    const auto sol = spice::solve_electrothermal_dc(ckt, backend, footprints, opts);
+    const char* status = sol.runaway ? "RUNAWAY" : (sol.converged ? "ok" : "no-conv");
+    const char* note = sol.runaway
+                           ? "divergent iterate reported as-is (flagged, not clamped)"
+                           : "self-consistent T = sink + R*P(T)";
+    std::printf("%-8.1f %-10.1f %-10.3f %-8d %-8s %s\n", t_sink, sol.max_temperature,
+                1e3 * sol.device_powers[0], sol.outer_iterations, status, note);
+  }
+  return 0;
+}

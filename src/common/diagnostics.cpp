@@ -1,0 +1,17 @@
+#include "common/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ptherm {
+
+std::string SolveDiagnostics::format() const {
+  std::ostringstream os;
+  os << (solver.empty() ? "solve" : solver);
+  if (!stage.empty()) os << ": stage " << stage;
+  os << " after " << iterations << " iteration" << (iterations == 1 ? "" : "s");
+  os << ", residual " << residual;
+  if (!worst.empty()) os << " at " << worst;
+  return os.str();
+}
+
+}  // namespace ptherm

@@ -1,0 +1,31 @@
+// Structured non-convergence context shared by every iterative solver in the
+// library. A failing solve used to surface a bare "did not converge" string;
+// now the SPICE Newton stack, the electro-thermal Picard loop, and the
+// batched scenario engine all attach this one record — which stage or rung
+// failed, how many iterations it used, the final residual, and the worst
+// offending node/block *by name* — so a failure is auditable from the
+// exception (or result struct) alone, without re-running under a debugger.
+#pragma once
+
+#include <string>
+
+namespace ptherm {
+
+/// One iterative solve's exit context. `residual` is in the solver's natural
+/// unit (amperes for KCL residuals, kelvin for Picard temperature updates);
+/// `stage` names the continuation rung or scenario ("gmin=1e-09",
+/// "source-step 0.4", "scenario 17"), `worst` the node or block with the
+/// largest residual contribution ("" when unknown).
+struct SolveDiagnostics {
+  std::string solver;    ///< entry point ("solve_dc", "ElectroThermalSolver", ...)
+  std::string stage;     ///< rung / homotopy stage / scenario index that decided the outcome
+  int iterations = 0;    ///< iterations used (Newton or Picard, total)
+  double residual = 0.0; ///< final residual / last max |dT|
+  std::string worst;     ///< worst node or block, by name
+
+  /// One-line human-readable summary ("solve_dc: stage gmin=1e-09 after 300
+  /// iterations, residual 1.2e-05 at node out").
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace ptherm

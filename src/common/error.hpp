@@ -7,9 +7,13 @@
 // negligible and silent corruption in an EDA tool is far worse).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "common/diagnostics.hpp"
 
 namespace ptherm {
 
@@ -25,10 +29,25 @@ class PreconditionError : public Error {
   explicit PreconditionError(const std::string& what) : Error(what) {}
 };
 
-/// An iterative numerical procedure failed to converge.
+/// An iterative numerical procedure failed to converge. Throw sites that
+/// know their exit context attach a SolveDiagnostics (stage, iterations,
+/// residual, worst node/block by name); the structured record is appended to
+/// what() AND kept accessible, so callers can branch on the context instead
+/// of parsing the message.
 class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& what) : Error(what) {}
+  ConvergenceError(const std::string& what, SolveDiagnostics diagnostics)
+      : Error(what + " [" + diagnostics.format() + "]"),
+        diagnostics_(std::move(diagnostics)) {}
+
+  /// Exit context, when the throw site provided one.
+  [[nodiscard]] const std::optional<SolveDiagnostics>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  std::optional<SolveDiagnostics> diagnostics_;
 };
 
 /// A file could not be read, or its contents are malformed.

@@ -197,6 +197,19 @@ CosimResult ElectroThermalSolver::solve() {
     result.total_leakage += result.blocks[i].p_leakage;
     result.max_temperature = std::max(result.max_temperature, temps[i]);
   }
+  if (!result.converged) {
+    std::size_t hottest = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (temps[i] > temps[hottest]) hottest = i;
+    }
+    SolveDiagnostics diag;
+    diag.solver = "ElectroThermalSolver";
+    diag.stage = result.runaway ? "runaway" : "max-iterations";
+    diag.iterations = result.iterations;
+    diag.residual = result.max_delta_last;
+    diag.worst = blocks[hottest].name;
+    result.diagnostics = std::move(diag);
+  }
   return result;
 }
 

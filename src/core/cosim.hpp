@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/diagnostics.hpp"
 #include "core/influence.hpp"
 #include "floorplan/compiled_leakage.hpp"
 #include "floorplan/floorplan.hpp"
@@ -119,6 +120,11 @@ struct CosimResult {
   double total_leakage = 0.0;
   double max_temperature = 0.0;   ///< hottest block [K]
   double max_delta_last = 0.0;    ///< last iteration's max |dT| [K]
+  /// Structured non-convergence context (common/diagnostics.hpp): set iff
+  /// the Picard loop did not converge — stage "runaway" or "max-iterations",
+  /// the iteration count, the last max |dT| [K], and the hottest block by
+  /// name. Empty on converged solves.
+  std::optional<SolveDiagnostics> diagnostics;
 
   [[nodiscard]] double total_power() const noexcept { return total_dynamic + total_leakage; }
 };

@@ -31,7 +31,11 @@ ScenarioBatch::ScenarioBatch(device::Technology tech, floorplan::Floorplan fp,
   core::validate(batch_);
   t_sink_ = fp.die().t_sink;
   nominal_powers_.reserve(fp.blocks().size());
-  for (const auto& block : fp.blocks()) nominal_powers_.push_back(block.p_dynamic);
+  block_names_.reserve(fp.blocks().size());
+  for (const auto& block : fp.blocks()) {
+    nominal_powers_.push_back(block.p_dynamic);
+    block_names_.push_back(block.name);
+  }
   Level nominal;
   nominal.voltage = tech.vdd;
   nominal.tech = std::move(tech);
@@ -193,11 +197,23 @@ void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
     const double* p_dyn = powers_.data() + k * n;
     const device::Technology& tech = levels_[static_cast<std::size_t>(level_index_[k])].tech;
     res.temperatures.assign(temp, temp + n);
+    std::size_t hottest = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const LeakageAdjust adj{adj_scale_[k * n + i], adj_dvt0_[k * n + i]};
       res.total_dynamic += p_dyn[i];
       res.total_leakage += adjusted_leakage_power(tech, compiled[i], temp[i], opts_.vb, adj);
       res.max_temperature = std::max(res.max_temperature, temp[i]);
+      if (temp[i] > temp[hottest]) hottest = i;
+    }
+    if (!res.converged) {
+      SolveDiagnostics diag;
+      diag.solver = "ScenarioBatch";
+      diag.stage = "scenario " + std::to_string(k) +
+                   (res.runaway ? ": runaway" : ": max-iterations");
+      diag.iterations = res.iterations;
+      diag.residual = res.max_delta_last;
+      diag.worst = block_names_[hottest];
+      res.diagnostics = std::move(diag);
     }
   };
 

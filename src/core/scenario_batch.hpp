@@ -33,7 +33,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/cosim.hpp"
@@ -70,6 +72,10 @@ struct ScenarioResult {
   double total_leakage = 0.0;    ///< [W] at the converged temperatures
   double max_delta_last = 0.0;   ///< last iteration's max |dT| [K]
   std::vector<double> temperatures;  ///< per-block [K]
+  /// Structured non-convergence context (common/diagnostics.hpp): set iff
+  /// this scenario did not converge — which scenario, runaway or
+  /// max-iterations, and the hottest block by name. Empty when converged.
+  std::optional<SolveDiagnostics> diagnostics;
 
   [[nodiscard]] double total_power() const noexcept { return total_dynamic + total_leakage; }
 };
@@ -181,6 +187,7 @@ class ScenarioBatch {
   ElectroThermalSolver solver_;
   double t_sink_ = 0.0;
   std::vector<double> nominal_powers_;  ///< floorplan p_dynamic, level 0
+  std::vector<std::string> block_names_;  ///< for non-convergence diagnostics
 
   std::vector<Level> levels_;
 

@@ -98,4 +98,8 @@ double MosModel::ids(double vg, double vd, double vs, double vb, double temp) co
   return -sign * ids_normalized({vg - vd, vs - vd, vd - vb, temp});
 }
 
+double MosModel::power(double vg, double vd, double vs, double vb, double temp) const {
+  return std::abs(ids(vg, vd, vs, vb, temp) * (vd - vs));
+}
+
 }  // namespace ptherm::device

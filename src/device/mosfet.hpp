@@ -53,6 +53,11 @@ class MosModel {
   /// Returns conventional current into the drain terminal.
   [[nodiscard]] double ids(double vg, double vd, double vs, double vb, double temp) const;
 
+  /// Instantaneous dissipated power |ids * (vd - vs)| [W] at the given
+  /// terminal voltages — what the electro-thermal coupling injects into the
+  /// thermal solver per device. Always non-negative.
+  [[nodiscard]] double power(double vg, double vd, double vs, double vb, double temp) const;
+
   [[nodiscard]] MosType type() const noexcept { return type_; }
   [[nodiscard]] double width() const noexcept { return width_; }
   [[nodiscard]] double length() const noexcept { return length_; }

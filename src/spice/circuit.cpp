@@ -13,6 +13,25 @@ NodeId Circuit::node(const std::string& name) {
   return id;
 }
 
+const std::string& Circuit::node_name(NodeId n) const {
+  static const std::string kGround = "0";
+  if (n == ground()) return kGround;
+  check_node(n);
+  for (const auto& [name, id] : names_) {
+    if (id == n) return name;
+  }
+  // check_node passed, so the id was handed out — and ids are only handed
+  // out by node(), which always records a name.
+  throw PreconditionError("node_name: unnamed node id " + std::to_string(n));
+}
+
+std::size_t Circuit::mosfet_index(const std::string& name) const {
+  for (std::size_t i = 0; i < mosfets_.size(); ++i) {
+    if (mosfets_[i].name == name) return i;
+  }
+  throw PreconditionError("mosfet_index: no MOSFET named " + name);
+}
+
 void Circuit::check_node(NodeId n) const {
   PTHERM_REQUIRE(n >= 0 && n < next_node_, "unknown node id");
 }

@@ -29,6 +29,15 @@ class Circuit {
   /// The name "0" (and "gnd") map to ground.
   NodeId node(const std::string& name);
 
+  /// Name of node `n` ("0" for ground) — how solve diagnostics report the
+  /// worst-KCL-residual node. Throws on an id this circuit never created.
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  /// Index of the named MOSFET in mosfets() — how the electro-thermal
+  /// coupling maps device names onto floorplan footprints. Throws
+  /// ptherm::PreconditionError if no MOSFET has that name.
+  [[nodiscard]] std::size_t mosfet_index(const std::string& name) const;
+
   [[nodiscard]] static constexpr NodeId ground() noexcept { return 0; }
 
   /// Number of nodes including ground.

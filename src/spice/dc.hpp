@@ -1,6 +1,16 @@
-// DC operating-point solver: damped Newton on the MNA equations with gmin
-// continuation. Unknowns are the non-ground node voltages plus one branch
-// current per voltage source.
+// DC operating-point solver: damped Newton on the MNA equations with an
+// escalating convergence-recovery ladder. Unknowns are the non-ground node
+// voltages plus one branch current per voltage source.
+//
+// The ladder (spice/report.hpp records which stages ran):
+//  1. gmin continuation — the classic descending-gmin ladder.
+//  2. Source-stepping homotopy — every independent source ramped from 0 to
+//     its full value with adaptive step halving; at lambda = 0 the circuit
+//     is trivially solvable and each step warm-starts from the last.
+//  3. Temperature continuation — solve cold (devices nearly off, weak
+//     exponentials), then ramp the device temperatures to their targets.
+// Each stage only runs when the previous one failed, so circuits the plain
+// ladder handles see bitwise-identical arithmetic to the pre-ladder solver.
 #pragma once
 
 #include <map>
@@ -8,8 +18,21 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/report.hpp"
 
 namespace ptherm::spice {
+
+/// Convergence-recovery ladder settings. Disabling both stages reproduces
+/// the naive gmin-only Newton (what the fault-injection tests use to show a
+/// stage actually rescued a circuit).
+struct DcRecoveryOptions {
+  bool source_stepping = true;  ///< stage 2: ramp supplies from 0
+  bool temp_stepping = true;    ///< stage 3: solve cold, ramp to ambient
+  int source_steps = 10;        ///< initial source-ramp resolution (d-lambda = 1/steps)
+  int max_source_substeps = 64; ///< finest adaptive lambda subdivision before giving up
+  double temp_cold = 250.0;     ///< temperature-continuation start [K]
+  int temp_steps = 5;           ///< ramp points from temp_cold to the target
+};
 
 struct DcOptions {
   double v_abstol = 1e-10;        ///< Newton step convergence [V]
@@ -21,28 +44,48 @@ struct DcOptions {
   double temp = 300.0;            ///< device temperature [K]
   /// gmin continuation ladder; the final entry is removed for a polish solve.
   std::vector<double> gmin_steps = {1e-3, 1e-6, 1e-9, 1e-12};
+  DcRecoveryOptions recovery;
 };
 
 struct DcSolution {
   bool converged = false;
-  int iterations = 0;             ///< total Newton iterations over all gmin steps
+  int iterations = 0;             ///< total Newton iterations over all rungs
   std::vector<double> node_voltages;              ///< indexed by NodeId (0 = ground)
   std::map<std::string, double> vsource_currents; ///< current from + through source to -
   std::map<std::string, double> device_currents;  ///< MOSFET drain->source currents
+  /// Structured solve diagnostics: rungs run, homotopy path taken, worst
+  /// KCL node by name, device temperatures at exit (spice/report.hpp).
+  SolveReport report;
 
   [[nodiscard]] double voltage(NodeId n) const { return node_voltages.at(n); }
 };
 
 /// Solves the DC operating point at `opts.temp`. Waveform sources use their
-/// value at t = 0. Throws ConvergenceError when Newton fails on every gmin
-/// rung; returns converged = false only if the polish (gmin = 0) step fails
-/// after a successful continuation.
+/// value at t = 0. Throws ConvergenceFailure (a ConvergenceError carrying
+/// the full SolveReport) when every ladder stage fails; returns converged =
+/// false only if the polish (gmin = 0) step fails after a successful
+/// continuation.
 DcSolution solve_dc(const Circuit& circuit, const DcOptions& opts = {});
 
 /// Sweeps the named voltage source over `values`, reusing each solution as
-/// the next initial guess. Returns one solution per value.
+/// the next initial guess. A point whose warm-started solve fails is retried
+/// once from a cold start (fresh recovery ladder) before the sweep fails;
+/// the error then names the sweep value that failed. Returns one solution
+/// per value.
 std::vector<DcSolution> dc_sweep(Circuit& circuit, const std::string& source,
                                  const std::vector<double>& values,
                                  const DcOptions& opts = {});
+
+namespace detail {
+class NewtonCore;
+
+/// The shared solve core: runs the recovery ladder on a caller-configured
+/// NewtonCore (source scale / temperatures as set), optionally warm-started
+/// from `initial` (size() unknowns; nullptr = cold start from zero). The
+/// electro-thermal outer loop (spice/electrothermal.hpp) and dc_sweep call
+/// this to reuse one core across solves.
+DcSolution solve_dc_core(const Circuit& circuit, NewtonCore& core, const DcOptions& opts,
+                         const std::vector<double>* initial);
+}  // namespace detail
 
 }  // namespace ptherm::spice

@@ -1,0 +1,142 @@
+#include "spice/electrothermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "spice/newton_core.hpp"
+
+namespace ptherm::spice {
+
+DeviceFootprint footprint_for(const std::string& device, const floorplan::Block& block) {
+  return {device, block.rect.cx(), block.rect.cy(), block.rect.w, block.rect.h};
+}
+
+namespace {
+
+/// Packs a DcSolution back into the unknown-vector layout, so the next outer
+/// iteration's inner solve warm-starts from the previous operating point.
+std::vector<double> pack_unknowns(const Circuit& circuit, const DcSolution& sol) {
+  const int nn = circuit.node_count() - 1;
+  std::vector<double> x(static_cast<std::size_t>(nn + circuit.vsources().size()), 0.0);
+  for (int n = 1; n < circuit.node_count(); ++n) x[n - 1] = sol.node_voltages[n];
+  const auto& vsrcs = circuit.vsources();
+  for (std::size_t j = 0; j < vsrcs.size(); ++j) {
+    x[nn + static_cast<int>(j)] = sol.vsource_currents.at(vsrcs[j].name);
+  }
+  return x;
+}
+
+}  // namespace
+
+ElectroThermalDcSolution solve_electrothermal_dc(const Circuit& circuit,
+                                                 const thermal::SolverBackend& backend,
+                                                 std::span<const DeviceFootprint> footprints,
+                                                 const ElectroThermalDcOptions& opts) {
+  const std::size_t n = footprints.size();
+  PTHERM_REQUIRE(n > 0, "solve_electrothermal_dc: no device footprints");
+
+  // Footprint -> MOSFET index, heat sources, and coincident sample points.
+  std::vector<std::size_t> mos_index(n);
+  std::vector<thermal::HeatSource> sources(n);
+  std::vector<thermal::SurfaceSample> samples(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& fp = footprints[k];
+    mos_index[k] = circuit.mosfet_index(fp.device);
+    sources[k] = {fp.cx, fp.cy, fp.w, fp.l, 0.0};
+    samples[k] = {fp.cx, fp.cy};
+  }
+  const auto influence = thermal::resolve_influence_apply(backend, sources, samples);
+
+  detail::NewtonCore core(circuit, opts.dc);
+  const std::size_t n_mos = circuit.mosfets().size();
+  // Full per-MOSFET temperature vector; devices without a footprint stay at
+  // the nominal solve temperature.
+  std::vector<double> all_temps(n_mos, opts.dc.temp);
+
+  ElectroThermalDcSolution out;
+  out.device_temperatures.assign(n, opts.dc.temp);
+  out.device_powers.assign(n, 0.0);
+  std::vector<double> rises(n, 0.0);
+  std::vector<double> warm;
+
+  double prev_delta = 0.0;
+  int growth_streak = 0;
+
+  for (int it = 0; it < opts.max_outer_iterations; ++it) {
+    for (std::size_t k = 0; k < n; ++k) {
+      all_temps[mos_index[k]] = out.device_temperatures[k];
+    }
+    core.set_device_temperatures(all_temps);
+    out.dc = detail::solve_dc_core(circuit, core, opts.dc, warm.empty() ? nullptr : &warm);
+    warm = pack_unknowns(circuit, out.dc);
+    ++out.outer_iterations;
+
+    // P(T): each device's dissipation at its own temperature.
+    const auto& mosfets = circuit.mosfets();
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto& m = mosfets[mos_index[k]];
+      out.device_powers[k] = m.model.power(
+          out.dc.voltage(m.gate), out.dc.voltage(m.drain), out.dc.voltage(m.source),
+          out.dc.voltage(m.bulk), out.device_temperatures[k]);
+    }
+
+    // T <- t_sink + R * P, damped.
+    influence->apply(out.device_powers, rises);
+    double max_dt = 0.0;
+    double max_t = opts.t_sink;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double target = opts.t_sink + rises[k];
+      const double delta = opts.damping * (target - out.device_temperatures[k]);
+      out.device_temperatures[k] += delta;
+      max_dt = std::max(max_dt, std::abs(delta));
+      max_t = std::max(max_t, out.device_temperatures[k]);
+    }
+    out.max_temperature = max_t;
+
+    // Runaway detection — flag and stop, never clamp: the temperatures we
+    // return are the genuine divergent iterates. A damped contraction has
+    // shrinking updates, so a monotonically GROWING update over several
+    // iterations is the fixed point diverging (same criterion as core/cosim);
+    // the hard rise limit catches fast blow-ups before the streak fills.
+    if (max_t - opts.t_sink > opts.runaway_rise_limit) {
+      out.runaway = true;
+      break;
+    }
+    if (max_dt > prev_delta && it > 0) {
+      if (++growth_streak >= opts.runaway_streak) {
+        out.runaway = true;
+        break;
+      }
+    } else {
+      growth_streak = 0;
+    }
+    prev_delta = max_dt;
+
+    if (max_dt < opts.temp_tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Re-solve the electrical state at the exit temperatures so the returned
+  // voltages, powers, and report are mutually consistent. Not on runaway:
+  // the exit temperatures are divergent iterates (deliberately unclamped),
+  // and the electrical state that matters is the last converged solve.
+  if (out.runaway) return out;
+  for (std::size_t k = 0; k < n; ++k) {
+    all_temps[mos_index[k]] = out.device_temperatures[k];
+  }
+  core.set_device_temperatures(all_temps);
+  out.dc = detail::solve_dc_core(circuit, core, opts.dc, warm.empty() ? nullptr : &warm);
+  const auto& mosfets = circuit.mosfets();
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& m = mosfets[mos_index[k]];
+    out.device_powers[k] = m.model.power(
+        out.dc.voltage(m.gate), out.dc.voltage(m.drain), out.dc.voltage(m.source),
+        out.dc.voltage(m.bulk), out.device_temperatures[k]);
+  }
+  return out;
+}
+
+}  // namespace ptherm::spice

@@ -12,7 +12,14 @@ NewtonCore::NewtonCore(const Circuit& ckt, const DcOptions& opts)
       opts_(opts),
       num_nodes_(ckt.node_count()),
       num_v_(static_cast<int>(ckt.vsources().size())),
-      size_(num_nodes_ - 1 + num_v_) {}
+      size_(num_nodes_ - 1 + num_v_),
+      temp_(opts.temp) {}
+
+void NewtonCore::set_device_temperatures(std::span<const double> temps) {
+  PTHERM_REQUIRE(temps.empty() || temps.size() == ckt_.mosfets().size(),
+                 "set_device_temperatures: need one temperature per MOSFET (or none)");
+  device_temps_.assign(temps.begin(), temps.end());
+}
 
 void NewtonCore::assemble(const std::vector<double>& x, double gmin,
                           const TransientContext& tr, std::vector<double>& f,
@@ -59,8 +66,9 @@ void NewtonCore::assemble(const std::vector<double>& x, double gmin,
   }
 
   for (const auto& s : ckt_.isources()) {
-    add_current(s.from, s.amps);
-    add_current(s.to, -s.amps);
+    const double amps = s.amps * source_scale_;
+    add_current(s.from, amps);
+    add_current(s.to, -amps);
   }
 
   const auto& vsrcs = ckt_.vsources();
@@ -70,7 +78,8 @@ void NewtonCore::assemble(const std::vector<double>& x, double gmin,
     const double branch_i = x[row];
     add_current(v.plus, branch_i);
     add_current(v.minus, -branch_i);
-    const double value = v.waveform ? (*v.waveform)(tr.active ? tr.time : 0.0) : v.volts;
+    const double value =
+        (v.waveform ? (*v.waveform)(tr.active ? tr.time : 0.0) : v.volts) * source_scale_;
     f[row] = v_of(x, v.plus) - v_of(x, v.minus) - value;
     scale[row] = std::max(1.0, std::abs(value));
     if (jac) {
@@ -85,12 +94,15 @@ void NewtonCore::assemble(const std::vector<double>& x, double gmin,
     }
   }
 
-  for (const auto& m : ckt_.mosfets()) {
+  const auto& mosfets = ckt_.mosfets();
+  for (std::size_t d = 0; d < mosfets.size(); ++d) {
+    const auto& m = mosfets[d];
+    const double temp = device_temperature(d);
     const double vd = v_of(x, m.drain);
     const double vg = v_of(x, m.gate);
     const double vs = v_of(x, m.source);
     const double vb = v_of(x, m.bulk);
-    const double ids = m.model.ids(vg, vd, vs, vb, opts_.temp);
+    const double ids = m.model.ids(vg, vd, vs, vb, temp);
     add_current(m.drain, ids);
     add_current(m.source, -ids);
     if (jac) {
@@ -102,8 +114,8 @@ void NewtonCore::assemble(const std::vector<double>& x, double gmin,
         double vm[4] = {vd, vg, vs, vb};
         vp[t] += h;
         vm[t] -= h;
-        const double ip = m.model.ids(vp[1], vp[0], vp[2], vp[3], opts_.temp);
-        const double im = m.model.ids(vm[1], vm[0], vm[2], vm[3], opts_.temp);
+        const double ip = m.model.ids(vp[1], vp[0], vp[2], vp[3], temp);
+        const double im = m.model.ids(vm[1], vm[0], vm[2], vm[3], temp);
         const double g = (ip - im) / (2.0 * h);
         add_jac(m.drain, terms[t], g);
         add_jac(m.source, terms[t], -g);
@@ -160,6 +172,22 @@ bool NewtonCore::newton(std::vector<double>& x, double gmin, const TransientCont
     }
   }
   return false;
+}
+
+KclAudit NewtonCore::audit(const std::vector<double>& x, const TransientContext& tr) const {
+  KclAudit worst;
+  const int nn = node_unknowns();
+  if (nn == 0) return worst;
+  std::vector<double> f, scale;
+  assemble(x, 0.0, tr, f, scale, nullptr);
+  int row = 0;
+  for (int i = 1; i < nn; ++i) {
+    if (std::abs(f[i]) > std::abs(f[row])) row = i;
+  }
+  worst.node = row + 1;
+  worst.residual = f[row];
+  worst.scale = scale[row];
+  return worst;
 }
 
 }  // namespace ptherm::spice::detail

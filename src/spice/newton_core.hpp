@@ -1,8 +1,17 @@
 // Internal shared Newton/MNA assembler used by both the DC and the transient
 // solver. Not part of the public API (no installation guarantees); kept in a
 // header so the two front ends share one residual definition.
+//
+// The assembler carries the continuation state the recovery ladder
+// (spice/dc.cpp) and the electro-thermal coupling (spice/electrothermal.hpp)
+// steer: a global source scale (source-stepping homotopy ramps every
+// independent source from 0 to its full value), a uniform temperature
+// override (temperature continuation solves cold and ramps to ambient), and
+// optional per-MOSFET device temperatures (self-heating: each device is
+// evaluated at its own temperature inside the Newton loop).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "numerics/dense.hpp"
@@ -21,6 +30,14 @@ struct TransientContext {
   std::vector<double> prev_voltages;
 };
 
+/// Worst-KCL-residual audit of an iterate: the node row with the largest
+/// absolute residual, its residual [A], and that row's current scale [A].
+struct KclAudit {
+  NodeId node = 0;
+  double residual = 0.0;
+  double scale = 0.0;
+};
+
 /// Unknown layout: x = [V_1 .. V_{n-1}, I_vsrc_0 .. I_vsrc_{m-1}].
 class NewtonCore {
  public:
@@ -33,6 +50,33 @@ class NewtonCore {
     return n == 0 ? 0.0 : x[n - 1];
   }
 
+  // --- continuation state --------------------------------------------------
+
+  /// Scales every independent source value (volts AND amps) by `s` — the
+  /// source-stepping homotopy's lambda. 1.0 (the default) is bitwise
+  /// transparent.
+  void set_source_scale(double s) noexcept { source_scale_ = s; }
+  [[nodiscard]] double source_scale() const noexcept { return source_scale_; }
+
+  /// Uniform device temperature override [K] (temperature continuation);
+  /// defaults to DcOptions::temp. Cleared by per-device temperatures.
+  void set_temperature(double t) noexcept { temp_ = t; }
+  [[nodiscard]] double temperature() const noexcept { return temp_; }
+
+  /// Per-MOSFET temperatures [K], indexed like Circuit::mosfets(); empty
+  /// restores the uniform temperature. This is the self-heating seam: the
+  /// electro-thermal loop writes block temperatures here and the assembler
+  /// evaluates each device at its own temperature.
+  void set_device_temperatures(std::span<const double> temps);
+  void clear_device_temperatures() { device_temps_.clear(); }
+
+  /// Temperature MOSFET `i` is evaluated at under the current settings.
+  [[nodiscard]] double device_temperature(std::size_t i) const noexcept {
+    return device_temps_.empty() ? temp_ : device_temps_[i];
+  }
+
+  // --- assembly / iteration ------------------------------------------------
+
   /// Assembles KCL residual `f`, per-row current scale, and optionally the
   /// Jacobian, at unknown vector `x` with the given gmin.
   void assemble(const std::vector<double>& x, double gmin, const TransientContext& tr,
@@ -44,12 +88,21 @@ class NewtonCore {
   bool newton(std::vector<double>& x, double gmin, const TransientContext& tr,
               int& iterations_used) const;
 
+  /// Worst-KCL-residual node at `x` (assembled at gmin = 0, no Jacobian) —
+  /// what SolveReport names on exit. Node 0 with zero residual when the
+  /// circuit has no node unknowns.
+  [[nodiscard]] KclAudit audit(const std::vector<double>& x,
+                               const TransientContext& tr) const;
+
  private:
   const Circuit& ckt_;
   const DcOptions& opts_;
   int num_nodes_;
   int num_v_;
   int size_;
+  double source_scale_ = 1.0;
+  double temp_;
+  std::vector<double> device_temps_;  ///< per-MOSFET [K]; empty = uniform temp_
 };
 
 }  // namespace ptherm::spice::detail

@@ -1,0 +1,39 @@
+#include "spice/report.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace ptherm::spice {
+
+std::string SolveReport::summary() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "failed") << " via " << (path.empty() ? "none" : path)
+     << ": " << rungs.size() << " rung" << (rungs.size() == 1 ? "" : "s") << ", "
+     << newton_iterations << " Newton iteration" << (newton_iterations == 1 ? "" : "s");
+  if (!worst_node.empty()) {
+    os << ", worst KCL " << worst_residual << " A at node " << worst_node;
+  }
+  return os.str();
+}
+
+SolveDiagnostics SolveReport::diagnostics(const std::string& solver) const {
+  SolveDiagnostics diag;
+  diag.solver = solver;
+  // The last rung is the one that decided the outcome (final polish on
+  // success, the deepest recovery attempt on failure).
+  if (!rungs.empty()) {
+    std::ostringstream os;
+    os << rungs.back().stage << "=" << rungs.back().value;
+    diag.stage = os.str();
+  }
+  diag.iterations = newton_iterations;
+  diag.residual = worst_residual;
+  diag.worst = worst_node.empty() ? "" : "node " + worst_node;
+  return diag;
+}
+
+ConvergenceFailure::ConvergenceFailure(const std::string& what, SolveReport report,
+                                       const std::string& solver)
+    : ConvergenceError(what, report.diagnostics(solver)), report_(std::move(report)) {}
+
+}  // namespace ptherm::spice

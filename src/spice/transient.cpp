@@ -64,8 +64,21 @@ TransientResult solve_transient(const Circuit& circuit, const TransientOptions& 
     }
     int iters = 0;
     if (!core.newton(x, 1e-12, tr, iters)) {
-      throw ConvergenceError("solve_transient: Newton failed at t = " +
-                             std::to_string(tr.time));
+      SolveReport report;
+      report.path = "transient";
+      report.rungs.push_back({"transient", tr.time, iters, false});
+      report.newton_iterations = iters;
+      const auto worst = core.audit(x, tr);
+      report.worst_node = circuit.node_name(worst.node);
+      report.worst_residual = worst.residual;
+      report.worst_scale = worst.scale;
+      const auto& mosfets = circuit.mosfets();
+      for (std::size_t d = 0; d < mosfets.size(); ++d) {
+        report.device_temperatures[mosfets[d].name] = core.device_temperature(d);
+      }
+      throw ConvergenceFailure(
+          "solve_transient: Newton failed at t = " + std::to_string(tr.time),
+          std::move(report), "solve_transient");
     }
     t = tr.time;
     record(t);

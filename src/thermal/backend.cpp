@@ -21,6 +21,34 @@ void InfluenceApply::apply_batch(std::span<const double> powers, std::span<doubl
   }
 }
 
+DenseInfluenceApply::DenseInfluenceApply(numerics::Matrix r) : r_(std::move(r)) {
+  PTHERM_REQUIRE(r_.rows() == r_.cols(),
+                 "DenseInfluenceApply: influence matrix must be square");
+}
+
+void DenseInfluenceApply::apply(std::span<const double> powers,
+                                std::span<double> rises) const {
+  PTHERM_REQUIRE(powers.size() == size() && rises.size() == size(),
+                 "InfluenceApply::apply: powers/rises must have size() elements");
+  r_.multiply(powers, rises);
+}
+
+void DenseInfluenceApply::apply_batch(std::span<const double> powers,
+                                      std::span<double> rises, std::size_t count) const {
+  PTHERM_REQUIRE(powers.size() == count * size() && rises.size() == count * size(),
+                 "InfluenceApply::apply_batch: powers/rises must have count * size() elements");
+  r_.multiply_batch(powers, rises, count);
+}
+
+std::unique_ptr<InfluenceApply> resolve_influence_apply(
+    const SolverBackend& backend, std::span<const HeatSource> sources,
+    std::span<const SurfaceSample> samples) {
+  if (backend.supports_matrix_free_influence()) {
+    return backend.make_influence_apply(sources, samples);
+  }
+  return std::make_unique<DenseInfluenceApply>(backend.build_influence(sources, samples));
+}
+
 std::unique_ptr<InfluenceApply> SolverBackend::make_influence_apply(
     std::span<const HeatSource>, std::span<const SurfaceSample>) const {
   std::ostringstream os;

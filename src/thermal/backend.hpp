@@ -88,6 +88,23 @@ class InfluenceApply {
   [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
 };
 
+/// InfluenceApply over a materialized dense influence matrix — the fallback
+/// the matrix-free seam degrades to for backends whose only representation
+/// IS the matrix (analytic images, FDM). Owns the matrix; must be square.
+class DenseInfluenceApply final : public InfluenceApply {
+ public:
+  explicit DenseInfluenceApply(numerics::Matrix r);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return r_.rows(); }
+  void apply(std::span<const double> powers, std::span<double> rises) const override;
+  void apply_batch(std::span<const double> powers, std::span<double> rises,
+                   std::size_t count) const override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "dense"; }
+
+ private:
+  numerics::Matrix r_;
+};
+
 class SolverBackend {
  public:
   virtual ~SolverBackend() = default;
@@ -248,6 +265,15 @@ class SpectralBackend final : public SolverBackend {
   SpectralThermalSolver solver_;
   mutable BackendCostStats stats_;
 };
+
+/// The influence-apply seam for callers that take ANY backend: matrix-free
+/// when the backend supports it, otherwise the dense influence build wrapped
+/// in DenseInfluenceApply. Either way the caller iterates `rises = R *
+/// powers` without knowing the representation (the electro-thermal SPICE
+/// coupling resolves its backend through this).
+[[nodiscard]] std::unique_ptr<InfluenceApply> resolve_influence_apply(
+    const SolverBackend& backend, std::span<const HeatSource> sources,
+    std::span<const SurfaceSample> samples);
 
 // Batched column builders, shared between the backend adapters above and the
 // free-standing influence API in core/influence.hpp (which accepts

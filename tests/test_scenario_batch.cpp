@@ -253,7 +253,8 @@ TEST(ScenarioBatch, VfLevelsScaleDynamicPowerThroughThePowerModel) {
   const std::size_t k = batch.add_vf_corner(tech().vdd * 0.8, 0.5);
   EXPECT_EQ(batch.scenario_level(k), low);
   const auto powers = batch.scenario_powers(k);
-  const auto& nominal = small_plan().blocks();
+  const auto plan = small_plan();
+  const auto& nominal = plan.blocks();
   for (std::size_t i = 0; i < powers.size(); ++i) {
     EXPECT_EQ(powers[i], nominal[i].p_dynamic * batch.level_dynamic_scale(low));
   }

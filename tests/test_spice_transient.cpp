@@ -136,6 +136,34 @@ TEST(Transient, SwitchingEnergyMatchesCV2) {
   EXPECT_GE(charge, expected * 0.95);              // and never subtracts
 }
 
+TEST(Transient, StepFailureCarriesSolveReport) {
+  // 1 mA forced into an NMOS drain whose gate collapses mid-run: with the
+  // gate high the device absorbs the current, with it low the time step's
+  // Newton (fixed small gmin, no recovery ladder) cannot hold the node. The
+  // failure must carry a SolveReport naming the time and the forced node.
+  Circuit ckt;
+  const Technology t = Technology::cmos012();
+  const auto drain = ckt.node("drain");
+  const auto gate = ckt.node("gate");
+  ckt.add_vsource("VG", gate, Circuit::ground(), 0.8);
+  ckt.add_isource("IFORCE", Circuit::ground(), drain, 1e-3);
+  ckt.add_mosfet("MOFF", drain, gate, Circuit::ground(), Circuit::ground(),
+                 MosModel(t, MosType::Nmos, 1e-6, t.l_drawn));
+  ckt.set_vsource_waveform("VG", [](double time) { return time > 0.5e-12 ? 0.0 : 0.8; });
+  TransientOptions opts;
+  opts.dc.max_iterations = 40;
+  try {
+    (void)solve_transient(ckt, opts);
+    FAIL() << "transient unexpectedly survived the gate collapse";
+  } catch (const ConvergenceFailure& e) {
+    EXPECT_EQ(e.report().path, "transient");
+    EXPECT_EQ(e.report().worst_node, "drain");
+    ASSERT_TRUE(e.diagnostics().has_value());
+    EXPECT_EQ(e.diagnostics()->solver, "solve_transient");
+    EXPECT_NE(std::string(e.what()).find("t = "), std::string::npos);
+  }
+}
+
 TEST(Transient, RejectsBadTimeGrid) {
   Circuit ckt;
   const auto a = ckt.node("a");
