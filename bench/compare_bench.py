@@ -23,7 +23,13 @@ import json
 import sys
 
 # Deterministic solver-effort counters: any increase is a regression.
-SOLVER_COUNTERS = (
+#
+# The authoritative list is the C++ telemetry counter catalog
+# (telemetry::guarded_counter_names): run_bench.sh embeds it into each report
+# as "solver_counters", and guarded_counters() below takes the union of both
+# reports' embedded lists. This tuple is only the fallback for diffing old
+# reports generated before the catalog existed.
+FALLBACK_SOLVER_COUNTERS = (
     "picard_iterations",
     "picard_iterations_total",
     "cg_iterations",
@@ -34,6 +40,17 @@ SOLVER_COUNTERS = (
     "homotopy_steps",
     "outer_iterations",
 )
+
+
+def guarded_counters(base_report, cand_report):
+    """Union of the catalog lists both reports embed (order-stable), falling
+    back to the hardcoded tuple when neither report carries one."""
+    names = []
+    for report in (base_report, cand_report):
+        for name in report.get("solver_counters", ()):
+            if name not in names:
+                names.append(name)
+    return tuple(names) if names else FALLBACK_SOLVER_COUNTERS
 
 
 def load(path):
@@ -56,6 +73,18 @@ def main():
 
     base_report, base = load(args.baseline)
     cand_report, cand = load(args.candidate)
+
+    # Span tracing changes what the wall times mean; a traced-vs-untraced
+    # diff would report the tracer's own cost as a code regression (or hide
+    # one of the same size). Refuse outright. Reports without the stamp
+    # (pre-telemetry trajectory points) are treated as untraced.
+    base_traced = bool(base_report.get("telemetry_enabled", False))
+    cand_traced = bool(cand_report.get("telemetry_enabled", False))
+    if base_traced != cand_traced:
+        print(f"error: telemetry_enabled mismatch: baseline={base_traced} "
+              f"candidate={cand_traced}; re-run the bench with matching "
+              "PTHERM_TELEMETRY settings", file=sys.stderr)
+        return 2
 
     for side, report, path in (("baseline", base_report, args.baseline),
                                ("candidate", cand_report, args.candidate)):
@@ -89,7 +118,7 @@ def main():
                 improvements.append(
                     f"{key}: real_time {bt:.4g} -> {ct:.4g} {b['time_unit']} "
                     f"({100 * (ratio - 1):.1f}%)")
-        for counter in SOLVER_COUNTERS:
+        for counter in guarded_counters(base_report, cand_report):
             if counter in b and counter in c and c[counter] > b[counter]:
                 regressions.append(
                     f"{key}: {counter} {b[counter]:g} -> {c[counter]:g} "

@@ -13,7 +13,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 LABEL="${2:-seed}"
 OUT="$REPO_ROOT/BENCH_${LABEL}.json"
 
-BENCHES=(speed_batch speed_cosim speed_layered speed_leakage speed_manycore speed_rtm speed_spice speed_thermal)
+BENCHES=(speed_batch speed_cosim speed_layered speed_leakage speed_manycore speed_rtm speed_spice speed_telemetry speed_thermal)
 TMPDIR="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR"' EXIT
 
@@ -24,6 +24,26 @@ BUILD_TYPE="${BUILD_TYPE:-unknown}"
 if [[ "$BUILD_TYPE" != "Release" ]]; then
   echo "warning: benching a '$BUILD_TYPE' build; trajectory baselines are Release" >&2
 fi
+
+# Span tracing (bench/telemetry_env.hpp) changes what the wall times mean, so
+# the mode is stamped next to build_type and compare_bench.py refuses to diff
+# a traced report against an untraced one.
+TELEMETRY_ENABLED="false"
+if [[ -n "${PTHERM_TELEMETRY:-}" && "${PTHERM_TELEMETRY}" != "0" ]]; then
+  TELEMETRY_ENABLED="true"
+  echo "warning: PTHERM_TELEMETRY=${PTHERM_TELEMETRY}: benching WITH span tracing; "\
+"this point only compares against other traced points" >&2
+fi
+
+# The guarded solver-counter list comes from the C++ catalog
+# (telemetry::guarded_counter_names), so compare_bench.py guards exactly what
+# the library declares — no hand-maintained Python tuple.
+GUARDED_DUMP="$BUILD_DIR/examples/telemetry_dump"
+if [[ ! -x "$GUARDED_DUMP" ]]; then
+  echo "error: $GUARDED_DUMP not built (cmake --build $BUILD_DIR --target example_telemetry_dump)" >&2
+  exit 1
+fi
+SOLVER_COUNTERS="$("$GUARDED_DUMP" --guarded)"
 
 for b in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$b"
@@ -36,13 +56,16 @@ for b in "${BENCHES[@]}"; do
          --benchmark_out_format=json >&2
 done
 
-python3 - "$OUT" "$LABEL" "$BUILD_TYPE" "${BENCHES[@]/#/$TMPDIR/}" <<'EOF'
+python3 - "$OUT" "$LABEL" "$BUILD_TYPE" "$TELEMETRY_ENABLED" "$SOLVER_COUNTERS" \
+        "${BENCHES[@]/#/$TMPDIR/}" <<'EOF'
 import json, sys, datetime
 
-out_path, label, build_type, *paths = sys.argv[1:]
+out_path, label, build_type, telemetry_enabled, solver_counters, *paths = sys.argv[1:]
 merged = {
     "label": label,
     "build_type": build_type,
+    "telemetry_enabled": telemetry_enabled == "true",
+    "solver_counters": solver_counters.split(),
     "generated_utc": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "context": None,

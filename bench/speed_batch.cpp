@@ -20,6 +20,7 @@
 #include "core/scenario_batch.hpp"
 #include "device/variation.hpp"
 #include "floorplan/generators.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -12,6 +12,7 @@
 #include "core/rc_network.hpp"
 #include "core/transient.hpp"
 #include "floorplan/generators.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -21,6 +21,7 @@
 #include "rtm/trace.hpp"
 #include "thermal/rc.hpp"
 #include "thermal/stack.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -18,6 +18,7 @@
 #include "netlist/netlist.hpp"
 #include "spice/circuit.hpp"
 #include "spice/dc.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "core/cosim.hpp"
 #include "floorplan/generators.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

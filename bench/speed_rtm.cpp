@@ -15,6 +15,7 @@
 #include "rtm/policy.hpp"
 #include "rtm/simulator.hpp"
 #include "rtm/trace.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -14,6 +14,7 @@
 #include "spice/dc.hpp"
 #include "spice/electrothermal.hpp"
 #include "thermal/backend.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -1,0 +1,110 @@
+// Speed study S9 (telemetry overhead): the cost of the span layer itself.
+// BM_CosimSpansDisabled vs BM_CosimSpansEnabled is the contract the
+// observability layer ships under — with no tracer installed a span is one
+// relaxed atomic load, so a full co-simulation must run at the same speed it
+// did before the instrumentation existed (the trajectory comparison against
+// the previous PR's BENCH enforces the <1% budget on every instrumented
+// bench, not just this one); with a tracer installed the cost is one clock
+// pair + one mutex push per span, measured here so "tracing is cheap enough
+// to leave on in studies" is a number, not a hope.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/cosim.hpp"
+#include "floorplan/generators.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry_env.hpp"
+
+namespace {
+
+using namespace ptherm;
+
+floorplan::Floorplan plan_3x3() {
+  thermal::Die d;
+  d.width = 1e-3;
+  d.height = 1e-3;
+  d.thickness = 350e-6;
+  d.k_si = 148.0;
+  d.t_sink = 318.15;
+  Rng rng(99);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = 4.0;
+  cfg.gates_per_mm2 = 1e5;
+  return floorplan::make_uniform_grid(device::Technology::cmos012(), d, 3, 3, cfg, rng);
+}
+
+// The raw per-span cost, isolated from any solver: a function whose whole
+// body is one span. Disabled: the relaxed pointer load + null checks.
+void BM_SpanDisabled(benchmark::State& state) {
+  telemetry::Tracer* const saved = telemetry::tracer();
+  telemetry::set_tracer(nullptr);
+  for (auto _ : state) {
+    TELEMETRY_SPAN("bench/span_disabled");
+    benchmark::ClobberMemory();
+  }
+  telemetry::set_tracer(saved);
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  telemetry::Tracer* const saved = telemetry::tracer();
+  telemetry::Tracer tracer;
+  telemetry::set_tracer(&tracer);
+  for (auto _ : state) {
+    TELEMETRY_SPAN("bench/span_enabled");
+    benchmark::ClobberMemory();
+  }
+  telemetry::set_tracer(saved);
+  state.counters["events"] = static_cast<double>(tracer.event_count());
+  state.counters["dropped"] = static_cast<double>(tracer.dropped_events());
+}
+BENCHMARK(BM_SpanEnabled);
+
+// The same full steady cosim, spans disabled vs enabled: the end-to-end
+// number a study pays for leaving a tracer installed.
+void run_cosim(benchmark::State& state) {
+  const auto fp = plan_3x3();
+  core::CosimResult last;
+  for (auto _ : state) {
+    core::ElectroThermalSolver solver(device::Technology::cmos012(), fp, {});
+    last = solver.solve();
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["picard_iterations"] = static_cast<double>(last.iterations);
+}
+
+void BM_CosimSpansDisabled(benchmark::State& state) {
+  telemetry::Tracer* const saved = telemetry::tracer();
+  telemetry::set_tracer(nullptr);
+  run_cosim(state);
+  telemetry::set_tracer(saved);
+}
+BENCHMARK(BM_CosimSpansDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_CosimSpansEnabled(benchmark::State& state) {
+  telemetry::Tracer* const saved = telemetry::tracer();
+  telemetry::Tracer tracer;
+  telemetry::set_tracer(&tracer);
+  run_cosim(state);
+  telemetry::set_tracer(saved);
+  state.counters["events"] = static_cast<double>(tracer.event_count());
+}
+BENCHMARK(BM_CosimSpansEnabled)->Unit(benchmark::kMillisecond);
+
+// Chrome-trace export throughput: how long turning a captured run into a
+// Perfetto-loadable document takes, per 10k events.
+void BM_ChromeTraceExport(benchmark::State& state) {
+  std::vector<telemetry::SpanEvent> events;
+  events.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    events.push_back({"spectral/apply_influence", static_cast<std::uint32_t>(i % 4),
+                      static_cast<std::int64_t>(i) * 1250, 997});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::chrome_trace_json(events));
+  }
+  state.counters["events"] = static_cast<double>(events.size());
+}
+BENCHMARK(BM_ChromeTraceExport)->Unit(benchmark::kMillisecond);
+
+}  // namespace

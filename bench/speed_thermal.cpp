@@ -7,6 +7,7 @@
 #include "thermal/fdm.hpp"
 #include "thermal/images.hpp"
 #include "thermal/spectral.hpp"
+#include "telemetry_env.hpp"  // PTHERM_TELEMETRY=1 installs a span tracer
 
 namespace {
 

@@ -1,0 +1,32 @@
+// Opt-in span tracing for the speed benches: setting PTHERM_TELEMETRY=1 in
+// the environment installs a process-wide Tracer before main() runs, so
+// every TELEMETRY_SPAN in the library's hot paths records. The default (no
+// variable, or "0") leaves tracing disabled — the configuration every
+// trajectory point is measured in. bench/run_bench.sh stamps the resulting
+// mode into BENCH_<label>.json as `telemetry_enabled`, and
+// bench/compare_bench.py refuses to diff a traced report against an
+// untraced one: the <1% disabled-span overhead budget only holds when both
+// sides ran the same mode.
+#pragma once
+
+#include <cstdlib>
+#include <string_view>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ptherm::bench {
+
+inline bool install_tracer_from_env() {
+  const char* env = std::getenv("PTHERM_TELEMETRY");
+  if (env == nullptr || std::string_view(env).empty() || std::string_view(env) == "0") {
+    return false;
+  }
+  static telemetry::Tracer tracer;  // lives for the whole process
+  telemetry::set_tracer(&tracer);
+  return true;
+}
+
+/// True when PTHERM_TELEMETRY enabled tracing for this process.
+[[maybe_unused]] inline const bool kTelemetryEnabled = install_tracer_from_env();
+
+}  // namespace ptherm::bench

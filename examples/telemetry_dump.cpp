@@ -1,0 +1,62 @@
+// Metrics-registry demo and bench-tooling helper. Default run: solve a small
+// floorplan twice (dense and matrix-free influence), contribute both cost
+// stat sets into one registry, and dump the merged snapshot as JSONL — the
+// exact stream bench/run_bench.sh consumes. With --guarded, print the bare
+// names of the guarded solver-effort counters (one per line) and exit: this
+// is how the bench harness embeds the counter catalog into BENCH_<label>.json
+// so compare_bench.py guards exactly what the C++ catalog declares, with no
+// hand-maintained Python list.
+//
+// Build & run:  ./examples/telemetry_dump [--guarded]
+#include <iostream>
+#include <string_view>
+
+#include "core/api.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptherm;
+
+  if (argc > 2 || (argc == 2 && std::string_view(argv[1]) != "--guarded")) {
+    std::cerr << "usage: telemetry_dump [--guarded]\n";
+    return 2;
+  }
+  if (argc == 2) {
+    for (const auto& name : telemetry::guarded_counter_names()) std::cout << name << "\n";
+    return 0;
+  }
+
+  const auto tech = device::Technology::cmos012();
+  thermal::Die die;
+  die.width = 1e-3;
+  die.height = 1e-3;
+  die.thickness = 350e-6;
+  die.k_si = kSiliconThermalConductivity;
+  die.t_sink = celsius(45.0);
+  Rng rng(21);
+  floorplan::GeneratorConfig cfg;
+  cfg.total_dynamic_power = 2.0;
+  cfg.gates_per_mm2 = 50e3;
+  const auto fp = floorplan::make_uniform_grid(tech, die, 3, 3, cfg, rng);
+
+  telemetry::Registry reg;
+  for (const auto mode : {core::InfluenceMode::Dense, core::InfluenceMode::MatrixFree}) {
+    core::CosimOptions opts;
+    opts.backend = core::ThermalBackend::Spectral;
+    opts.influence = mode;
+    core::ElectroThermalSolver solver(tech, fp, opts);
+    const auto r = solver.solve();
+    if (!r.converged) return 1;
+    // The unified merge: each solve's counters contribute into the one
+    // registry; reading a struct back out (backend_cost_from) is the
+    // field-complete sum — no hand-copied field lists anywhere.
+    telemetry::contribute(reg, solver.backend().cost_stats());
+    reg.add("cosim/picard_iterations", r.iterations);
+    reg.set_gauge("cosim/max_temperature_k", r.max_temperature);
+    reg.observe("cosim/residual_k", r.max_delta_last);
+  }
+
+  telemetry::write_jsonl(std::cout, reg.snapshot());
+  return 0;
+}

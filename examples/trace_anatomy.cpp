@@ -1,0 +1,138 @@
+// Trace anatomy: one traced run across the three solver stacks — a
+// 4096-block manycore steady cosim (spectral backend, matrix-free influence),
+// a closed-loop RTM epoch run (threshold throttling over the transient
+// cosim), and a SPICE DC operating point with its recovery ladder — exported
+// as ONE Chrome trace-event JSON file. Load it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing: the ts/dur containment
+// renders the span nesting (cosim/solve over spectral/apply_influence,
+// rtm/run over rtm/epoch over transient/epoch, spice/solve_dc over
+// spice/gmin_ladder), which is the fastest way to see where the milliseconds
+// of a co-simulation actually go.
+//
+// Build & run:  ./examples/trace_anatomy [output.json]
+//               (default trace_anatomy_trace.json in the working directory)
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/api.hpp"
+#include "telemetry/telemetry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptherm;
+
+  if (argc > 2) {
+    std::cerr << "usage: trace_anatomy [output.json]\n";
+    return 2;
+  }
+  const std::string out_path = argc == 2 ? argv[1] : "trace_anatomy_trace.json";
+
+  // One sink observes everything below; uninstalled before export.
+  telemetry::Tracer tracer;
+  telemetry::set_tracer(&tracer);
+  const auto tech = device::Technology::cmos012();
+
+  // ---- 1. Steady cosim at manycore scale: 32x32 tiles x 4 blocks = 4096
+  // blocks. The spectral backend applies the influence operator matrix-free
+  // in mode space, so this stays a few hundred milliseconds — watch the
+  // spectral/apply_influence spans repeat under cosim/solve, one batch per
+  // Picard iteration.
+  {
+    thermal::Die die;
+    die.width = 16e-3;
+    die.height = 16e-3;
+    die.thickness = 350e-6;
+    die.k_si = kSiliconThermalConductivity;
+    die.t_sink = celsius(45.0);
+    Rng rng(314);
+    floorplan::GeneratorConfig cfg;
+    cfg.total_dynamic_power = 120.0;
+    cfg.gates_per_mm2 = 50e3;
+    const auto fp = floorplan::make_manycore(tech, die, 32, 32, cfg, rng);
+
+    core::CosimOptions opts;
+    opts.backend = core::ThermalBackend::Spectral;
+    opts.trace.convergence = true;
+    core::ElectroThermalSolver solver(tech, fp, opts);
+    const auto r = solver.solve();
+    std::cout << "cosim: " << r.blocks.size() << " blocks, "
+              << (r.converged ? "converged" : "DID NOT CONVERGE") << " in " << r.iterations
+              << " Picard iterations (residual " << r.picard_residuals.front() << " -> "
+              << r.picard_residuals.back() << " K)\n";
+    if (!r.converged) return 1;
+  }
+
+  // ---- 2. RTM epoch loop: threshold throttling holding a sustained
+  // overload under its cap. Each rtm/epoch span wraps one sense -> decide ->
+  // actuate -> re-leakage cycle; the transient/epoch spans inside are the
+  // plant's own power-update hook.
+  {
+    thermal::Die die;
+    die.width = 1e-3;
+    die.height = 1e-3;
+    die.thickness = 350e-6;
+    die.k_si = kSiliconThermalConductivity;
+    die.t_sink = celsius(55.0);
+    Rng rng(99);
+    floorplan::GeneratorConfig cfg;
+    cfg.total_dynamic_power = 18.0;
+    cfg.gates_per_mm2 = 3e5;
+    const auto fp = floorplan::make_uniform_grid(tech, die, 2, 2, cfg, rng);
+
+    rtm::BurstPattern pat;
+    pat.period = 8e-3;
+    pat.duty = 1.0;
+    pat.high = 1.0;
+    const auto trace = rtm::make_burst_trace(4, 40, 1e-3, pat);
+
+    rtm::RtmOptions opts;
+    opts.backend = core::ThermalBackend::Spectral;
+    opts.spectral.modes_x = 32;
+    opts.spectral.modes_y = 32;
+    opts.dt = 1e-4;
+    opts.steps_per_epoch = 2;
+    opts.temperature_cap = celsius(95.0);
+    opts.trace.convergence = true;
+
+    rtm::ThresholdPolicy policy;
+    rtm::Actuator actuator(tech, fp, rtm::VfLadder::uniform(tech.vdd, 2e9, 4, 0.8, 0.45));
+    const auto r = rtm::run_rtm(tech, fp, trace, policy, actuator, opts);
+    std::cout << "rtm: " << r.metrics.epochs << " epochs / " << r.metrics.steps
+              << " steps, peak " << to_celsius(r.metrics.peak_temperature) << " C, "
+              << r.metrics.interventions << " interventions, throughput "
+              << r.metrics.throughput_fraction << "\n";
+  }
+
+  // ---- 3. SPICE DC operating point: a CMOS inverter at mid-rail input,
+  // the worst case for the gmin ladder (both devices half-on).
+  {
+    spice::Circuit ckt;
+    const auto vdd = ckt.node("vdd");
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add_vsource("VDD", vdd, spice::Circuit::ground(), tech.vdd);
+    ckt.add_vsource("VIN", in, spice::Circuit::ground(), 0.5 * tech.vdd);
+    ckt.add_mosfet("MN", out, in, spice::Circuit::ground(), spice::Circuit::ground(),
+                   device::MosModel(tech, device::MosType::Nmos, 0.32e-6, tech.l_drawn));
+    ckt.add_mosfet("MP", out, in, vdd, vdd,
+                   device::MosModel(tech, device::MosType::Pmos, 0.8e-6, tech.l_drawn));
+    spice::DcOptions opts;
+    opts.trace.convergence = true;
+    const auto sol = spice::solve_dc(ckt, opts);
+    std::cout << "spice: " << sol.report.summary() << "\n";
+    if (!sol.converged) return 1;
+  }
+
+  telemetry::set_tracer(nullptr);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "trace_anatomy: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  telemetry::write_chrome_trace(out, tracer.events());
+  std::cout << "wrote " << tracer.event_count() << " spans ("
+            << tracer.dropped_events() << " dropped) to " << out_path
+            << " -- load it in Perfetto or chrome://tracing\n";
+  return 0;
+}

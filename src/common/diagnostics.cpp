@@ -4,13 +4,28 @@
 
 namespace ptherm {
 
-std::string SolveDiagnostics::format() const {
+namespace detail {
+
+std::string convergence_summary(int iterations, const std::string& iteration_unit,
+                                const std::string& residual_label, double residual,
+                                const std::string& residual_unit, const std::string& where) {
+  std::ostringstream os;
+  os << iterations << " ";
+  if (!iteration_unit.empty()) os << iteration_unit << " ";
+  os << "iteration" << (iterations == 1 ? "" : "s");
+  os << ", " << residual_label << " " << residual;
+  if (!residual_unit.empty()) os << " " << residual_unit;
+  if (!where.empty()) os << " at " << where;
+  return os.str();
+}
+
+}  // namespace detail
+
+std::string SolveDiagnostics::summary() const {
   std::ostringstream os;
   os << (solver.empty() ? "solve" : solver);
   if (!stage.empty()) os << ": stage " << stage;
-  os << " after " << iterations << " iteration" << (iterations == 1 ? "" : "s");
-  os << ", residual " << residual;
-  if (!worst.empty()) os << " at " << worst;
+  os << " after " << detail::convergence_summary(iterations, "", "residual", residual, "", worst);
   return os.str();
 }
 

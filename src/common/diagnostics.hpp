@@ -24,8 +24,26 @@ struct SolveDiagnostics {
   std::string worst;     ///< worst node or block, by name
 
   /// One-line human-readable summary ("solve_dc: stage gmin=1e-09 after 300
-  /// iterations, residual 1.2e-05 at node out").
-  [[nodiscard]] std::string format() const;
+  /// iterations, residual 1.2e-05 at node out"). This is what
+  /// ConvergenceError::what() appends in brackets.
+  [[nodiscard]] std::string summary() const;
 };
+
+namespace detail {
+
+/// The ONE "iterations, residual, location" clause every solver summary
+/// formats: "<n> [<unit> ]iteration(s), <label> <residual>[ <unit>][ at
+/// <where>]", e.g. "41 Newton iterations, worst KCL 3.1e-13 A at node out"
+/// or "300 iterations, residual 1.2e-05 at out". Shared by
+/// SolveDiagnostics::summary() and spice::SolveReport::summary() so the two
+/// report families cannot drift apart in wording or pluralization.
+[[nodiscard]] std::string convergence_summary(int iterations,
+                                              const std::string& iteration_unit,
+                                              const std::string& residual_label,
+                                              double residual,
+                                              const std::string& residual_unit,
+                                              const std::string& where);
+
+}  // namespace detail
 
 }  // namespace ptherm

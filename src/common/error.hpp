@@ -38,7 +38,7 @@ class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& what) : Error(what) {}
   ConvergenceError(const std::string& what, SolveDiagnostics diagnostics)
-      : Error(what + " [" + diagnostics.format() + "]"),
+      : Error(what + " [" + diagnostics.summary() + "]"),
         diagnostics_(std::move(diagnostics)) {}
 
   /// Exit context, when the throw site provided one.

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "device/variation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::core {
 
@@ -19,9 +20,14 @@ std::unique_ptr<thermal::SolverBackend> make_thermal_backend(const thermal::Die&
                      "make_thermal_backend: the analytic backend needs a stack that "
                      "reduces to the die (use Fdm or Spectral for layered stacks)");
       return std::make_unique<thermal::AnalyticImagesBackend>(die, opts.images);
-    case ThermalBackend::Fdm:
-      if (opts.stack) return std::make_unique<thermal::FdmBackend>(die, *opts.stack, opts.fdm);
-      return std::make_unique<thermal::FdmBackend>(die, opts.fdm);
+    case ThermalBackend::Fdm: {
+      // The one convergence knob (CosimOptions::trace) reaches the inner CG
+      // here, so callers never have to touch FdmOptions::cg directly.
+      thermal::FdmOptions fdm = opts.fdm;
+      if (opts.trace.convergence) fdm.cg.trace = true;
+      if (opts.stack) return std::make_unique<thermal::FdmBackend>(die, *opts.stack, fdm);
+      return std::make_unique<thermal::FdmBackend>(die, fdm);
+    }
     case ThermalBackend::Spectral:
       if (opts.stack) {
         return std::make_unique<thermal::SpectralBackend>(die, *opts.stack, opts.spectral);
@@ -68,6 +74,7 @@ ElectroThermalSolver::ElectroThermalSolver(device::Technology tech, floorplan::F
 }
 
 void ElectroThermalSolver::build_influence() {
+  TELEMETRY_SPAN("cosim/build_influence");
   // Every backend is linear in the injected power, so the influence operator
   // captures it exactly: R[i][j] = rise at block i per watt in block j. The
   // Picard loop only needs R *applied*, so matrix-free-capable backends
@@ -124,6 +131,7 @@ void ElectroThermalSolver::set_leakage_adjust(std::vector<LeakageAdjust> adjust)
 }
 
 CosimResult ElectroThermalSolver::solve() {
+  TELEMETRY_SPAN("cosim/solve");
   const auto& blocks = fp_.blocks();
   const std::size_t n = blocks.size();
   const double t_sink = fp_.die().t_sink;
@@ -166,6 +174,7 @@ CosimResult ElectroThermalSolver::solve() {
       max_rise = std::max(max_rise, temps[i] - t_sink);
     }
     result.max_delta_last = max_delta;
+    if (opts_.trace.convergence) result.picard_residuals.push_back(max_delta);
 
     if (max_rise > opts_.runaway_rise_limit) {
       result.runaway = true;

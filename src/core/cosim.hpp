@@ -20,6 +20,7 @@
 #include "core/influence.hpp"
 #include "floorplan/compiled_leakage.hpp"
 #include "floorplan/floorplan.hpp"
+#include "telemetry/telemetry.hpp"
 #include "thermal/backend.hpp"
 
 namespace ptherm::core {
@@ -61,6 +62,12 @@ struct CosimOptions {
   /// r_package (see boundary_fold_resistance) — the transient cosim is
   /// where the network's dynamics come alive.
   std::optional<thermal::DieStack> stack;
+  /// Convergence-trace recording (telemetry/telemetry.hpp). With
+  /// trace.convergence: CosimResult::picard_residuals records the Picard
+  /// residual per iteration, and an FDM backend records its CG residual
+  /// curves (FdmOptions::cg.trace is forced on). Recording only APPENDS to
+  /// result vectors — the solve arithmetic is bitwise unchanged.
+  telemetry::TraceOptions trace;
 };
 
 /// The ONE uniform boundary resistance [K/W] a steady cosim folds on top of
@@ -125,6 +132,10 @@ struct CosimResult {
   /// the iteration count, the last max |dT| [K], and the hottest block by
   /// name. Empty on converged solves.
   std::optional<SolveDiagnostics> diagnostics;
+  /// With CosimOptions::trace.convergence: the Picard residual max |dT| [K]
+  /// after each iteration (picard_residuals.size() == iterations;
+  /// back() == max_delta_last). Empty when tracing is off.
+  std::vector<double> picard_residuals;
 
   [[nodiscard]] double total_power() const noexcept { return total_dynamic + total_leakage; }
 };

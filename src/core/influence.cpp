@@ -3,11 +3,18 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/counters.hpp"
 
 namespace ptherm::core {
 
 InfluenceBuildStats influence_stats_from(const thermal::BackendCostStats& cost) {
-  return {cost.influence_columns, cost.cg_iterations, cost.modes, cost.fft_calls};
+  // Through the registry, not a field-by-field copy: the backend counters
+  // contribute under their catalog names and the influence view reads the
+  // same names back, so both sides share one mapping (telemetry/counters.cpp
+  // statically asserts the catalog covers every field).
+  telemetry::Registry reg;
+  telemetry::contribute(reg, cost);
+  return telemetry::influence_build_from(reg);
 }
 
 InfluenceOperator::InfluenceOperator(numerics::Matrix r) : r_(std::move(r)) {

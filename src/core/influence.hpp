@@ -30,17 +30,21 @@ namespace ptherm::core {
 /// co-simulation use).
 using InfluenceSample = thermal::SurfaceSample;
 
-/// Cost counters from an influence build, for the perf trajectory.
+/// Cost counters from an influence build, for the perf trajectory. All
+/// fields `long long`: the telemetry catalog (telemetry/counters.hpp) binds
+/// each to a named registry counter and statically asserts completeness.
 struct InfluenceBuildStats {
-  int columns = 0;              ///< unit-source solves performed
+  long long columns = 0;        ///< unit-source solves performed
   long long cg_iterations = 0;  ///< total CG iterations (FDM backend only)
-  int modes = 0;                ///< cosine modes carried (spectral backend)
+  long long modes = 0;          ///< cosine modes carried (spectral backend)
   long long fft_calls = 0;      ///< 1-D FFT invocations (spectral backend)
 };
 
-/// Projection of the backend cost counters onto the influence-build view —
-/// the ONE place the two structs are mapped, so a new backend counter cannot
-/// silently go missing from `influence_build_stats()`.
+/// Projection of the backend cost counters onto the influence-build view,
+/// routed through the telemetry registry: the backend counters contribute
+/// under their catalog names and the influence view reads the same names
+/// back, so the two structs share ONE name mapping and a new backend counter
+/// cannot silently go missing from `influence_build_stats()`.
 [[nodiscard]] InfluenceBuildStats influence_stats_from(const thermal::BackendCostStats& cost);
 
 /// Square dense influence operator over flat row-major storage: the dense

@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "power/dynamic.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::core {
 
@@ -154,6 +156,7 @@ int ScenarioBatch::scenario_level(std::size_t k) const {
 }
 
 std::vector<ScenarioResult> ScenarioBatch::solve_all() {
+  TELEMETRY_SPAN("batch/solve_all");
   std::vector<ScenarioResult> results(size());
   for_each_chunk(size(), batch_.chunk, [&](std::size_t begin, std::size_t end) {
     run_chunk(begin, end, results);
@@ -172,6 +175,7 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all() {
 // never affects its arithmetic, only its memory placement).
 void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
                               std::vector<ScenarioResult>& results) {
+  TELEMETRY_SPAN("batch/chunk");
   const std::size_t n = block_count();
   const std::size_t count = end - begin;
   const auto& compiled = solver_.compiled_leakage();
@@ -234,6 +238,7 @@ void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
     }
     influence.apply_batch({powers.data(), m * n}, {rises.data(), m * n}, m);
     ++sweeps;
+    double sweep_max_delta = 0.0;
 
     std::size_t keep = 0;
     for (std::size_t a = 0; a < m; ++a) {
@@ -260,6 +265,8 @@ void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
         max_rise = std::max(max_rise, temp[i] - t_sink_);
       }
       res.max_delta_last = max_delta;
+      if (opts_.trace.convergence) res.picard_residuals.push_back(max_delta);
+      sweep_max_delta = std::max(sweep_max_delta, max_delta);
 
       bool done = false;
       if (max_rise > opts_.runaway_rise_limit) {
@@ -289,6 +296,10 @@ void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
         active[keep++] = local;  // compaction keeps ascending order
       }
     }
+    if (opts_.trace.convergence) {
+      trace_.active_per_sweep.push_back(static_cast<long long>(m));
+      trace_.max_residual_per_sweep.push_back(sweep_max_delta);
+    }
     active.resize(keep);
   }
   // Survivors of max_iterations: not converged, not runaway — same verdict a
@@ -306,12 +317,14 @@ void ScenarioBatch::run_chunk(std::size_t begin, std::size_t end,
 }
 
 thermal::BackendCostStats ScenarioBatch::cost_stats() const {
-  thermal::BackendCostStats stats = solver_.backend().cost_stats();
-  stats.scenarios = stats_.scenarios;
-  stats.batched_matvecs = stats_.batched_matvecs;
-  stats.picard_iterations_total = stats_.picard_iterations_total;
-  stats.masked_iterations_saved = stats_.masked_iterations_saved;
-  return stats;
+  // Merge = two contributes into one registry (the batch counters land on
+  // the same backend/ names their mirror fields carry), then read the struct
+  // back through the catalog — field-complete by the catalog's static_assert
+  // instead of by a hand-maintained copy list.
+  telemetry::Registry reg;
+  telemetry::contribute(reg, solver_.backend().cost_stats());
+  telemetry::contribute(reg, stats_);
+  return telemetry::backend_cost_from(reg);
 }
 
 }  // namespace ptherm::core

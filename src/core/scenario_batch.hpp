@@ -76,16 +76,33 @@ struct ScenarioResult {
   /// this scenario did not converge — which scenario, runaway or
   /// max-iterations, and the hottest block by name. Empty when converged.
   std::optional<SolveDiagnostics> diagnostics;
+  /// With CosimOptions::trace.convergence: this scenario's Picard residual
+  /// max |dT| [K] after each of its iterations (size == iterations) — the
+  /// same values a standalone solve of this scenario records. Empty when
+  /// tracing is off.
+  std::vector<double> picard_residuals;
 
   [[nodiscard]] double total_power() const noexcept { return total_dynamic + total_leakage; }
 };
 
 /// Batch-engine counters (merged into BackendCostStats by cost_stats()).
+/// Keep this a plain bag of long long counters: telemetry/counters.cpp pins
+/// its layout with a static_assert so every field reaches the registry.
 struct ScenarioBatchStats {
   long long scenarios = 0;                ///< scenario solves completed
   long long batched_matvecs = 0;          ///< multi-RHS applies issued
   long long picard_iterations_total = 0;  ///< sum of per-scenario iterations
   long long masked_iterations_saved = 0;  ///< scenario-iterations masks avoided
+};
+
+/// Sweep-level convergence trace (CosimOptions::trace.convergence; separate
+/// from ScenarioBatchStats so the counter bag stays registry-shaped). One
+/// entry per blocked Picard sweep across all solve_all chunks, in execution
+/// order: how many scenarios were still active going into the sweep, and the
+/// worst Picard residual any of them produced in it.
+struct ScenarioBatchTrace {
+  std::vector<long long> active_per_sweep;     ///< active-mask size per sweep
+  std::vector<double> max_residual_per_sweep;  ///< worst max |dT| per sweep [K]
 };
 
 class ScenarioBatch {
@@ -160,6 +177,9 @@ class ScenarioBatch {
   [[nodiscard]] int scenario_level(std::size_t k) const;
 
   [[nodiscard]] const ScenarioBatchStats& stats() const noexcept { return stats_; }
+  /// Sweep-level convergence trace; empty unless the construction options
+  /// set trace.convergence. Accumulates across solve_all calls, like stats().
+  [[nodiscard]] const ScenarioBatchTrace& trace() const noexcept { return trace_; }
   /// Backend cost counters with the batch counters merged in — the bench
   /// JSON's one-stop view.
   [[nodiscard]] thermal::BackendCostStats cost_stats() const;
@@ -198,6 +218,7 @@ class ScenarioBatch {
   std::vector<std::int32_t> level_index_;  ///< per-scenario V/f level
 
   ScenarioBatchStats stats_;
+  ScenarioBatchTrace trace_;
 };
 
 }  // namespace ptherm::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::core {
 
@@ -51,6 +52,7 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
   PTHERM_REQUIRE(!fp.blocks().empty(), "transient cosim: empty floorplan");
   validate(opts);
   PTHERM_REQUIRE(static_cast<bool>(hook), "transient cosim: null power-update hook");
+  TELEMETRY_SPAN("transient/solve");
 
   const auto& blocks = fp.blocks();
   const std::size_t n = blocks.size();
@@ -63,6 +65,7 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
   backend_opts.fdm = opts.fdm;
   backend_opts.spectral = opts.spectral;
   backend_opts.stack = opts.stack;
+  backend_opts.trace = opts.trace;
   const auto backend = make_thermal_backend(fp.die(), backend_opts);
   PTHERM_REQUIRE(backend->supports_transient(),
                  "transient cosim: selected thermal backend cannot integrate in time");
@@ -118,6 +121,7 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
   double sum_dyn = 0.0;
   double sum_leak = 0.0;
   auto update_powers = [&](long long epoch, double t) {
+    TELEMETRY_SPAN("transient/epoch");
     hook(epoch, t, temps, p_dyn, p_leak);
     sum_dyn = 0.0;
     sum_leak = 0.0;
@@ -138,7 +142,9 @@ TransientCosimResult solve_transient_cosim(const device::Technology& tech,
     // t_stop.
     const double h = last ? opts.t_stop - s * opts.dt : opts.dt;
     if (s > 0 && s % k == 0) update_powers(s / k, s * opts.dt);
-    result.total_cg_iterations += backend->step_transient(*state, h, sources);
+    const int inner = backend->step_transient(*state, h, sources);
+    result.total_cg_iterations += inner;
+    if (opts.trace.convergence) result.step_inner_iterations.push_back(inner);
     // The package sees the total die power, held constant over the step —
     // the same piecewise-constant contract as the conduction backends, so
     // the exact exponential update applies.

@@ -67,6 +67,11 @@ struct TransientCosimOptions {
   /// riding the PowerUpdateHook, feel the package/heatsink time constants.
   /// The constant-sink legacy behaviour is the zero-capacity limit.
   std::optional<thermal::DieStack> stack;
+  /// Convergence-trace recording (telemetry/telemetry.hpp). With
+  /// trace.convergence: TransientCosimResult::step_inner_iterations records
+  /// the inner backend iterations per time step. Recording only APPENDS —
+  /// the integration arithmetic is bitwise unchanged.
+  telemetry::TraceOptions trace;
 };
 
 /// Throws ptherm::PreconditionError on an unusable time grid
@@ -93,6 +98,10 @@ struct TransientCosimResult {
   /// Backend cost counters for the whole run (steps served, CG iterations,
   /// modes carried, FFT calls) — the perf-trajectory benches read these.
   thermal::BackendCostStats backend_stats;
+  /// With TransientCosimOptions::trace.convergence: inner backend iterations
+  /// per time step, in step order (size == steps taken; sums to
+  /// total_cg_iterations). Empty when tracing is off.
+  std::vector<int> step_inner_iterations;
 
   [[nodiscard]] double peak_temperature() const;
 };

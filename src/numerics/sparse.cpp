@@ -258,6 +258,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
     const double norm_r = std::sqrt(std::inner_product(r.begin(), r.end(), r.begin(), 0.0));
     result.iterations = it + 1;
     result.residual = norm_r / norm_b;
+    if (opts.trace) result.residuals.push_back(result.residual);
     if (result.residual < opts.tolerance) {
       result.converged = true;
       return result;

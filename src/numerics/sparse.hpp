@@ -109,6 +109,10 @@ struct CgOptions {
   double tolerance = 1e-10;   ///< relative residual ||r||/||b||
   int max_iterations = 10000;
   CgPreconditioner preconditioner = CgPreconditioner::Jacobi;
+  /// Record the relative residual after every iteration into
+  /// CgResult::residuals (the convergence-trace hook; off by default —
+  /// recording only APPENDS, the iteration arithmetic is unchanged).
+  bool trace = false;
 };
 
 struct CgResult {
@@ -120,6 +124,10 @@ struct CgResult {
   /// definite) and stopped early; `x` is the last accepted iterate and
   /// `residual` is recomputed from it, not carried over from the recurrence.
   bool breakdown = false;
+  /// With CgOptions::trace: the relative residual after each iteration
+  /// (residuals.size() == iterations; back() == residual unless breakdown
+  /// recomputed it). Empty when tracing is off.
+  std::vector<double> residuals;
 };
 
 /// Preconditioned CG for SPD systems. `x0` (optional) warm-starts the

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/counters.hpp"
 
 namespace ptherm::rtm {
 
@@ -21,6 +23,7 @@ RtmResult run_rtm(const device::Technology& tech, const floorplan::Floorplan& fp
   PTHERM_REQUIRE(opts.record_every >= 0, "run_rtm: record_every must be >= 0");
   PTHERM_REQUIRE(opts.temperature_cap > fp.die().t_sink,
                  "run_rtm: temperature cap must exceed the sink temperature");
+  TELEMETRY_SPAN("rtm/run");
 
   const double epoch_dt = opts.dt * static_cast<double>(opts.steps_per_epoch);
   const long long epochs =
@@ -58,6 +61,7 @@ RtmResult run_rtm(const device::Technology& tech, const floorplan::Floorplan& fp
     // epoch's powers for that sliver and keeps every metric weighted by
     // exactly `epochs` control periods.
     if (epoch >= epochs) return;
+    TELEMETRY_SPAN("rtm/epoch");
     // Sense (imperfect view), decide, actuate.
     const std::span<const double> sensed = sensors.sample(temps);
     for (std::size_t i = 0; i < n; ++i) activity[i] = trace.activity_at(i, t);
@@ -109,6 +113,7 @@ RtmResult run_rtm(const device::Technology& tech, const floorplan::Floorplan& fp
   cosim.fdm = opts.fdm;
   cosim.spectral = opts.spectral;
   cosim.stack = opts.stack;
+  cosim.trace = opts.trace;
   cosim.dt = opts.dt;
   cosim.t_stop = static_cast<double>(epochs) * epoch_dt;
   cosim.vb = opts.vb;
@@ -120,9 +125,10 @@ RtmResult run_rtm(const device::Technology& tech, const floorplan::Floorplan& fp
   cosim.record_every = static_cast<int>(
       std::min<long long>(epochs * opts.steps_per_epoch,
                           std::numeric_limits<int>::max()));
-  const auto transient = core::solve_transient_cosim(tech, fp, hook, cosim);
+  auto transient = core::solve_transient_cosim(tech, fp, hook, cosim);
 
   result.final_temps = transient.block_temps.back();
+  result.step_inner_iterations = std::move(transient.step_inner_iterations);
   for (double temp : result.final_temps) {
     m.peak_temperature = std::max(m.peak_temperature, temp);
   }
@@ -131,7 +137,14 @@ RtmResult run_rtm(const device::Technology& tech, const floorplan::Floorplan& fp
   m.avg_temperature = temp_time_integral / (static_cast<double>(m.epochs) * epoch_dt);
   m.throughput_fraction = m.work_requested > 0.0 ? m.work_delivered / m.work_requested : 1.0;
   m.steps = m.epochs * opts.steps_per_epoch;
-  m.backend_stats = transient.backend_stats;
+  // Backend counters ride the registry like every other merge site (batch
+  // cost_stats, influence_stats_from): contribute under the catalog names,
+  // read the struct back field-complete. An exact round trip — the fields
+  // are integers — kept on the shared route so new counters cannot be
+  // dropped here silently.
+  telemetry::Registry reg;
+  telemetry::contribute(reg, transient.backend_stats);
+  m.backend_stats = telemetry::backend_cost_from(reg);
   return result;
 }
 

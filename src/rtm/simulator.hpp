@@ -17,6 +17,7 @@
 #include "rtm/policy.hpp"
 #include "rtm/sensor.hpp"
 #include "rtm/trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::rtm {
 
@@ -41,6 +42,11 @@ struct RtmOptions {
   /// state of the plant: sensed temperatures include the case rise, so
   /// policies feel (and must fight) the package time constants.
   std::optional<thermal::DieStack> stack;
+  /// Convergence-trace recording, threaded straight through to the plant
+  /// (core::TransientCosimOptions::trace): with trace.convergence the result
+  /// carries the plant's per-step inner-iteration trace. Recording only
+  /// APPENDS — the control loop and plant arithmetic are bitwise unchanged.
+  telemetry::TraceOptions trace;
 };
 
 /// Run-level metrics. All temperature metrics are TRUE block temperatures
@@ -64,6 +70,10 @@ struct RtmMetrics {
 struct RtmResult {
   RtmMetrics metrics;
   std::vector<double> final_temps;   ///< true block temperatures at t_stop [K]
+  /// With RtmOptions::trace.convergence: the plant's inner backend
+  /// iterations per transient step (size == metrics.steps). Empty when
+  /// tracing is off.
+  std::vector<int> step_inner_iterations;
   // Timeline (one row per recorded epoch, epoch start instant).
   std::vector<double> times;
   std::vector<double> peak_temps;         ///< hottest block [K]

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "spice/newton_core.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::spice {
 
@@ -15,9 +16,17 @@ using detail::NewtonCore;
 using detail::TransientContext;
 
 void record_rung(SolveReport& report, const char* stage, double value, int iterations,
-                 bool converged) {
-  report.rungs.push_back({stage, value, iterations, converged});
+                 bool converged, std::vector<double> residuals = {}) {
+  report.rungs.push_back({stage, value, iterations, converged, std::move(residuals)});
   report.newton_iterations += iterations;
+}
+
+/// Trace destination for one newton() call: a pointer into `storage` when
+/// tracing is on (record_rung then moves the curve into the rung), nullptr —
+/// the exact pre-trace call — otherwise.
+std::vector<double>* trace_dest(const DcOptions& opts, std::vector<double>& storage) {
+  storage.clear();
+  return opts.trace.convergence ? &storage : nullptr;
 }
 
 /// Stage 1: the classic descending-gmin ladder from the current iterate.
@@ -27,13 +36,15 @@ void record_rung(SolveReport& report, const char* stage, double value, int itera
 bool run_gmin_ladder(NewtonCore& core, const DcOptions& opts, const TransientContext& tr,
                      std::vector<double>& x, SolveReport& report,
                      double* gmin_held = nullptr) {
+  TELEMETRY_SPAN("spice/gmin_ladder");
   bool any_rung = false;
   std::vector<double> last_failed;
+  std::vector<double> res;
   for (double gmin : opts.gmin_steps) {
     std::vector<double> trial = x;
     int iters = 0;
-    const bool converged = core.newton(trial, gmin, tr, iters);
-    record_rung(report, "gmin", gmin, iters, converged);
+    const bool converged = core.newton(trial, gmin, tr, iters, trace_dest(opts, res));
+    record_rung(report, "gmin", gmin, iters, converged, std::move(res));
     if (converged) {
       x = trial;
       any_rung = true;
@@ -55,6 +66,7 @@ bool run_gmin_ladder(NewtonCore& core, const DcOptions& opts, const TransientCon
 /// halving down to 1/max_source_substeps. Always leaves the core at scale 1.
 bool run_source_stepping(NewtonCore& core, const DcOptions& opts, const TransientContext& tr,
                          std::vector<double>& x, SolveReport& report) {
+  TELEMETRY_SPAN("spice/source_stepping");
   const double gmin = opts.gmin_steps.empty() ? 0.0 : opts.gmin_steps.back();
   const int steps = std::max(1, opts.recovery.source_steps);
   const double dl0 = 1.0 / steps;
@@ -65,13 +77,14 @@ bool run_source_stepping(NewtonCore& core, const DcOptions& opts, const Transien
   double lambda = 0.0;
   double dl = dl0;
   bool ok = true;
+  std::vector<double> res;
   while (lambda < 1.0) {
     const double next = std::min(1.0, lambda + dl);
     core.set_source_scale(next);
     std::vector<double> trial = x;
     int iters = 0;
-    const bool converged = core.newton(trial, gmin, tr, iters);
-    record_rung(report, "source", next, iters, converged);
+    const bool converged = core.newton(trial, gmin, tr, iters, trace_dest(opts, res));
+    record_rung(report, "source", next, iters, converged, std::move(res));
     ++report.homotopy_steps;
     if (converged) {
       x = trial;
@@ -101,6 +114,7 @@ bool run_temp_stepping(const Circuit& circuit, NewtonCore& core, const DcOptions
                        SolveReport& report) {
   const std::size_t n_mos = circuit.mosfets().size();
   if (n_mos == 0) return false;  // nothing in the circuit depends on temperature
+  TELEMETRY_SPAN("spice/temp_stepping");
 
   std::vector<double> targets(n_mos);
   double t_max = opts.recovery.temp_cold;
@@ -127,6 +141,7 @@ bool run_temp_stepping(const Circuit& circuit, NewtonCore& core, const DcOptions
     return false;
   }
 
+  std::vector<double> res;
   for (int s = 1; s <= steps; ++s) {
     const double lambda = static_cast<double>(s) / steps;
     for (std::size_t d = 0; d < n_mos; ++d) {
@@ -135,8 +150,9 @@ bool run_temp_stepping(const Circuit& circuit, NewtonCore& core, const DcOptions
     core.set_device_temperatures(temps);
     std::vector<double> trial = x;
     int iters = 0;
-    const bool converged = core.newton(trial, gmin, tr, iters);
-    record_rung(report, "temp", cold + lambda * (t_max - cold), iters, converged);
+    const bool converged = core.newton(trial, gmin, tr, iters, trace_dest(opts, res));
+    record_rung(report, "temp", cold + lambda * (t_max - cold), iters, converged,
+                std::move(res));
     ++report.homotopy_steps;
     if (!converged) {
       restore();
@@ -153,8 +169,8 @@ bool run_temp_stepping(const Circuit& circuit, NewtonCore& core, const DcOptions
     if (g >= gmin) continue;
     std::vector<double> trial = x;
     int iters = 0;
-    const bool converged = core.newton(trial, g, tr, iters);
-    record_rung(report, "gmin", g, iters, converged);
+    const bool converged = core.newton(trial, g, tr, iters, trace_dest(opts, res));
+    record_rung(report, "gmin", g, iters, converged, std::move(res));
     if (converged) x = trial;
   }
   return true;
@@ -208,6 +224,7 @@ namespace detail {
 DcSolution solve_dc_core(const Circuit& circuit, NewtonCore& core, const DcOptions& opts,
                          const std::vector<double>* initial) {
   PTHERM_REQUIRE(circuit.node_count() > 1, "solve_dc: circuit has no nodes");
+  TELEMETRY_SPAN("spice/solve_dc");
   TransientContext no_transient;
   std::vector<double> x(static_cast<std::size_t>(core.size()), 0.0);
   if (initial) {
@@ -238,8 +255,9 @@ DcSolution solve_dc_core(const Circuit& circuit, NewtonCore& core, const DcOptio
   {
     std::vector<double> trial = x;
     int iters = 0;
-    const bool converged = core.newton(trial, 0.0, no_transient, iters);
-    record_rung(report, "polish", 0.0, iters, converged);
+    std::vector<double> res;
+    const bool converged = core.newton(trial, 0.0, no_transient, iters, trace_dest(opts, res));
+    record_rung(report, "polish", 0.0, iters, converged, std::move(res));
     if (converged) x = trial;
   }
   report.converged = true;

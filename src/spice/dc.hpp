@@ -19,6 +19,7 @@
 
 #include "spice/circuit.hpp"
 #include "spice/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::spice {
 
@@ -45,6 +46,11 @@ struct DcOptions {
   /// gmin continuation ladder; the final entry is removed for a polish solve.
   std::vector<double> gmin_steps = {1e-3, 1e-6, 1e-9, 1e-12};
   DcRecoveryOptions recovery;
+  /// Convergence-trace recording (telemetry/telemetry.hpp). With
+  /// trace.convergence every RungReport carries the per-iteration Newton
+  /// residual curve (RungReport::residuals). Recording only APPENDS — the
+  /// solve arithmetic is bitwise unchanged.
+  telemetry::TraceOptions trace;
 };
 
 struct DcSolution {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "spice/newton_core.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::spice {
 
@@ -35,6 +36,7 @@ ElectroThermalDcSolution solve_electrothermal_dc(const Circuit& circuit,
                                                  const ElectroThermalDcOptions& opts) {
   const std::size_t n = footprints.size();
   PTHERM_REQUIRE(n > 0, "solve_electrothermal_dc: no device footprints");
+  TELEMETRY_SPAN("spice/electrothermal_dc");
 
   // Footprint -> MOSFET index, heat sources, and coincident sample points.
   std::vector<std::size_t> mos_index(n);

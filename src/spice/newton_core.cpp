@@ -131,13 +131,18 @@ void NewtonCore::assemble(const std::vector<double>& x, double gmin,
 }
 
 bool NewtonCore::newton(std::vector<double>& x, double gmin, const TransientContext& tr,
-                        int& iterations_used) const {
+                        int& iterations_used, std::vector<double>* residual_trace) const {
   std::vector<double> f, scale;
   numerics::Matrix jac(static_cast<std::size_t>(size_), static_cast<std::size_t>(size_));
   const int nn = node_unknowns();
   for (int it = 0; it < opts_.max_iterations; ++it) {
     assemble(x, gmin, tr, f, scale, &jac);
     ++iterations_used;
+    if (residual_trace) {
+      double max_f = 0.0;
+      for (const double fi : f) max_f = std::max(max_f, std::abs(fi));
+      residual_trace->push_back(max_f);
+    }
 
     std::vector<double> rhs(f.size());
     for (std::size_t i = 0; i < f.size(); ++i) rhs[i] = -f[i];

@@ -84,9 +84,12 @@ class NewtonCore {
                 numerics::Matrix* jac) const;
 
   /// Damped Newton at one gmin rung; returns true on convergence and updates
-  /// `x` in place. `iterations_used` accumulates.
+  /// `x` in place. `iterations_used` accumulates. `residual_trace` (optional)
+  /// receives the KCL residual infinity norm max |F| [A] of each iterate as
+  /// assembled at the top of its iteration — the convergence-trace hook;
+  /// recording only APPENDS, the iteration arithmetic is unchanged.
   bool newton(std::vector<double>& x, double gmin, const TransientContext& tr,
-              int& iterations_used) const;
+              int& iterations_used, std::vector<double>* residual_trace = nullptr) const;
 
   /// Worst-KCL-residual node at `x` (assembled at gmin = 0, no Jacobian) —
   /// what SolveReport names on exit. Node 0 with zero residual when the

@@ -9,10 +9,9 @@ std::string SolveReport::summary() const {
   std::ostringstream os;
   os << (converged ? "converged" : "failed") << " via " << (path.empty() ? "none" : path)
      << ": " << rungs.size() << " rung" << (rungs.size() == 1 ? "" : "s") << ", "
-     << newton_iterations << " Newton iteration" << (newton_iterations == 1 ? "" : "s");
-  if (!worst_node.empty()) {
-    os << ", worst KCL " << worst_residual << " A at node " << worst_node;
-  }
+     << ::ptherm::detail::convergence_summary(newton_iterations, "Newton", "worst KCL",
+                                              worst_residual, "A",
+                                              worst_node.empty() ? "" : "node " + worst_node);
   return os.str();
 }
 

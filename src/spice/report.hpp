@@ -23,6 +23,10 @@ struct RungReport {
   double value = 0.0;     ///< gmin [S] / source scale [0,1] / temperature [K]
   int iterations = 0;     ///< Newton iterations this rung used
   bool converged = false; ///< whether this rung's Newton converged
+  /// With DcOptions::trace.convergence: the KCL residual infinity norm
+  /// max |F| [A] of each Newton iterate in this rung (size == iterations).
+  /// Empty when tracing is off.
+  std::vector<double> residuals;
 };
 
 /// Exit record of one DC solve (attached to DcSolution and to

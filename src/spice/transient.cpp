@@ -66,7 +66,7 @@ TransientResult solve_transient(const Circuit& circuit, const TransientOptions& 
     if (!core.newton(x, 1e-12, tr, iters)) {
       SolveReport report;
       report.path = "transient";
-      report.rungs.push_back({"transient", tr.time, iters, false});
+      report.rungs.push_back({"transient", tr.time, iters, false, {}});
       report.newton_iterations = iters;
       const auto worst = core.audit(x, tr);
       report.worst_node = circuit.node_name(worst.node);

@@ -1,0 +1,166 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ptherm::telemetry {
+
+namespace {
+
+/// Map lookup-or-insert with a string_view key: find() goes through the
+/// transparent comparator (no allocation when the key exists); only a brand
+/// new metric pays the std::string construction.
+template <typename Map, typename Value>
+Value& slot(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) it = map.emplace(std::string(name), Value{}).first;
+  return it->second;
+}
+
+void write_double(std::ostream& os, double v) {
+  const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  os.precision(old_precision);
+}
+
+}  // namespace
+
+void Registry::add(std::string_view name, long long delta) {
+  const std::scoped_lock lock(mutex_);
+  slot<decltype(counters_), long long>(counters_, name) += delta;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  const std::scoped_lock lock(mutex_);
+  slot<decltype(gauges_), double>(gauges_, name) = value;
+}
+
+void Registry::observe(std::string_view name, double value) {
+  const std::scoped_lock lock(mutex_);
+  HistogramSummary& h = slot<decltype(histograms_), HistogramSummary>(histograms_, name);
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+long long Registry::counter(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
+  snap.histograms.insert(histograms_.begin(), histograms_.end());
+  return snap;
+}
+
+void Registry::merge(const Snapshot& other) {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, value] : other.counters) {
+    slot<decltype(counters_), long long>(counters_, name) += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    slot<decltype(gauges_), double>(gauges_, name) = value;
+  }
+  for (const auto& [name, h] : other.histograms) {
+    HistogramSummary& mine = slot<decltype(histograms_), HistogramSummary>(histograms_, name);
+    if (mine.count == 0) {
+      mine = h;
+    } else if (h.count > 0) {
+      mine.count += h.count;
+      mine.sum += h.sum;
+      mine.min = std::min(mine.min, h.min);
+      mine.max = std::max(mine.max, h.max);
+    }
+  }
+}
+
+void Registry::clear() {
+  const std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      constexpr char kHex[] = "0123456789abcdef";
+      os << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const Registry::Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "{\"metric\":";
+    write_json_string(os, name);
+    os << ",\"kind\":\"counter\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "{\"metric\":";
+    write_json_string(os, name);
+    os << ",\"kind\":\"gauge\",\"value\":";
+    write_double(os, value);
+    os << "}\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "{\"metric\":";
+    write_json_string(os, name);
+    os << ",\"kind\":\"histogram\",\"count\":" << h.count << ",\"sum\":";
+    write_double(os, h.sum);
+    os << ",\"min\":";
+    write_double(os, h.min);
+    os << ",\"max\":";
+    write_double(os, h.max);
+    os << "}\n";
+  }
+}
+
+void write_csv(std::ostream& os, const Registry::Snapshot& snapshot) {
+  os << "metric,kind,value,count,sum,min,max\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << ",counter," << value << ",,,,\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << name << ",gauge,";
+    write_double(os, value);
+    os << ",,,,\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << name << ",histogram,," << h.count << ',';
+    write_double(os, h.sum);
+    os << ',';
+    write_double(os, h.min);
+    os << ',';
+    write_double(os, h.max);
+    os << '\n';
+  }
+}
+
+}  // namespace ptherm::telemetry

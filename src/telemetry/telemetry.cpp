@@ -1,0 +1,128 @@
+#include "telemetry/telemetry.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace ptherm::telemetry {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_events) : max_events_(max_events) {}
+
+void Tracer::record(const char* name, std::uint32_t tid, std::int64_t start_ns,
+                    std::int64_t duration_ns) {
+  const std::scoped_lock lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, tid, start_ns, duration_ns});
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+std::size_t Tracer::dropped_events() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void set_tracer(Tracer* tracer) { g_tracer.store(tracer, std::memory_order_release); }
+
+Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+
+std::uint32_t current_thread_id() {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::int64_t monotonic_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+/// Span names are "subsystem/what" literals under library control, but the
+/// writer still escapes the JSON-significant characters so a hostile name
+/// cannot produce an invalid document.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      constexpr char kHex[] = "0123456789abcdef";
+      os << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+    } else {
+      os << c;
+    }
+  }
+}
+
+/// Timestamps print as integer-nanosecond-exact decimal microseconds
+/// (trace-event "ts"/"dur" are microseconds; the fractional part keeps the
+/// nanosecond resolution without float formatting nondeterminism).
+void write_us(std::ostream& os, std::int64_t ns) {
+  if (ns < 0) {
+    os << '-';
+    ns = -ns;
+  }
+  os << ns / 1000;
+  const std::int64_t frac = ns % 1000;
+  if (frac != 0) {
+    os << '.';
+    os << static_cast<char>('0' + frac / 100);
+    if (frac % 100 != 0) {
+      os << static_cast<char>('0' + (frac / 10) % 10);
+      if (frac % 10 != 0) os << static_cast<char>('0' + frac % 10);
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    write_escaped(os, e.name);
+    os << "\",\"cat\":\"ptherm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":";
+    write_us(os, e.start_ns);
+    os << ",\"dur\":";
+    write_us(os, e.duration_ns);
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+}  // namespace ptherm::telemetry

@@ -1,0 +1,129 @@
+// Span tracer: the "where did the milliseconds go" half of the telemetry
+// layer. Solver hot paths mark scopes with TELEMETRY_SPAN("subsystem/what");
+// when no tracer is installed the macro costs ONE relaxed atomic pointer
+// load (no clock read, no lock, no allocation), so instrumented code is
+// bitwise identical and effectively free in production runs — both enforced
+// by test and bench. When a Tracer is installed (set_tracer), every span
+// records {name, thread, start, duration} into a mutex-guarded sink that
+// write_chrome_trace exports as Chrome trace-event JSON ("X" complete
+// events), directly loadable in Perfetto / chrome://tracing, where the
+// ts/dur containment renders the nesting.
+//
+// Leaf module: depends on the standard library only, so every subsystem can
+// include it without dependency cycles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptherm::telemetry {
+
+/// One completed span. `name` must be a string with static storage duration
+/// (TELEMETRY_SPAN passes literals) — the sink stores the pointer, not a
+/// copy, so recording never allocates per event.
+struct SpanEvent {
+  const char* name = "";
+  std::uint32_t tid = 0;        ///< dense per-thread id (current_thread_id)
+  std::int64_t start_ns = 0;    ///< monotonic clock, ns
+  std::int64_t duration_ns = 0;
+};
+
+/// Thread-safe span sink. `max_events` bounds memory on long traced runs
+/// (million-step RTM traces): past the cap new events are counted in
+/// dropped_events() instead of stored, so an over-eager trace degrades
+/// gracefully instead of exhausting memory.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_events = kDefaultMaxEvents);
+
+  void record(const char* name, std::uint32_t tid, std::int64_t start_ns,
+              std::int64_t duration_ns);
+
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t dropped_events() const;
+  void clear();
+
+  static constexpr std::size_t kDefaultMaxEvents = std::size_t{1} << 22;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
+};
+
+/// Installs `tracer` as the process-wide span sink (nullptr disables — the
+/// default). The caller keeps ownership and must keep the Tracer alive until
+/// it is uninstalled; installation is a release store so spans on other
+/// threads observe a fully-constructed sink.
+void set_tracer(Tracer* tracer);
+
+/// The installed sink, or nullptr when tracing is disabled. Relaxed load —
+/// this is the whole disabled-path cost of a span.
+[[nodiscard]] Tracer* tracer() noexcept;
+
+/// Small dense id of the calling thread (0 for the first thread that asks,
+/// then 1, 2, ...), stable for the thread's lifetime. Chrome trace "tid".
+[[nodiscard]] std::uint32_t current_thread_id();
+
+/// Monotonic timestamp [ns] for span bounds; only called on the enabled path.
+[[nodiscard]] std::int64_t monotonic_now_ns();
+
+/// RAII span: captures the installed tracer once at entry (so a tracer
+/// installed mid-scope cannot see a torn span) and records on destruction.
+/// Disabled path: one relaxed pointer load at entry, one null check at exit.
+class Span {
+ public:
+  explicit Span(const char* name) : tracer_(telemetry::tracer()) {
+    if (tracer_ != nullptr) {
+      name_ = name;
+      start_ns_ = monotonic_now_ns();
+    }
+  }
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, current_thread_id(), start_ns_, monotonic_now_ns() - start_ns_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_ = "";
+  std::int64_t start_ns_ = 0;
+};
+
+/// Chrome trace-event JSON ("X" complete events, microsecond timestamps)
+/// for Perfetto / chrome://tracing. Deterministic: events are written in the
+/// order given, so a fixed event list yields a byte-identical document (the
+/// golden-file test relies on this).
+void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events);
+[[nodiscard]] std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+
+/// Opt-in per-iteration convergence recording, threaded through
+/// CosimOptions, TransientCosimOptions, RtmOptions, ScenarioBatchOptions,
+/// and DcOptions. Off (the default) is bitwise transparent: tracing only
+/// APPENDS records (Picard residuals, CG residual curves, per-rung Newton
+/// residuals, batch active-mask sizes) — it never changes solver arithmetic,
+/// which is pinned by tests.
+struct TraceOptions {
+  bool convergence = false;
+};
+
+}  // namespace ptherm::telemetry
+
+// Two-level paste so __LINE__ expands before concatenation; the span object
+// lives to the end of the enclosing scope.
+#define PTHERM_TELEMETRY_CONCAT_IMPL(a, b) a##b
+#define PTHERM_TELEMETRY_CONCAT(a, b) PTHERM_TELEMETRY_CONCAT_IMPL(a, b)
+
+/// Marks the enclosing scope as a named span ("subsystem/what"). `name` must
+/// be a string literal (or otherwise have static storage duration).
+#define TELEMETRY_SPAN(name) \
+  const ::ptherm::telemetry::Span PTHERM_TELEMETRY_CONCAT(ptherm_span_, __LINE__)(name)

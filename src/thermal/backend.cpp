@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ptherm::thermal {
 
@@ -332,6 +333,7 @@ class SpectralInfluenceApply final : public InfluenceApply {
   [[nodiscard]] std::size_t size() const noexcept override { return proj_.count; }
 
   void apply(std::span<const double> powers, std::span<double> rises) const override {
+    TELEMETRY_SPAN("spectral/apply_influence");
     PTHERM_REQUIRE(powers.size() == proj_.count && rises.size() == proj_.count,
                    "InfluenceApply::apply: powers/rises must have size() elements");
     solver_->apply_influence(proj_, powers, rises);
@@ -339,6 +341,7 @@ class SpectralInfluenceApply final : public InfluenceApply {
 
   void apply_batch(std::span<const double> powers, std::span<double> rises,
                    std::size_t count) const override {
+    TELEMETRY_SPAN("spectral/apply_influence");
     PTHERM_REQUIRE(powers.size() == count * proj_.count && rises.size() == count * proj_.count,
                    "InfluenceApply::apply_batch: powers/rises must have count * size() "
                    "elements");

@@ -34,13 +34,18 @@ namespace ptherm::thermal {
 
 /// Cumulative cost counters since backend construction, for the perf
 /// trajectory. Backends fill the fields that measure their work and leave
-/// the rest zero.
+/// the rest zero. Every field is a `long long` counter ON PURPOSE: the
+/// telemetry catalog (telemetry/counters.hpp) maps each field to a named
+/// registry counter through a descriptor table and statically asserts the
+/// struct is exactly that table's fields — so adding a field here without
+/// naming it there fails the build instead of silently vanishing from the
+/// registry, the bench JSON, and the merge paths.
 struct BackendCostStats {
-  int steady_solves = 0;        ///< full-field steady solves performed
-  int influence_columns = 0;    ///< unit-source influence columns built
-  long long cg_iterations = 0;  ///< total CG iterations (FDM)
-  int modes = 0;                ///< cosine modes carried (spectral)
-  long long fft_calls = 0;      ///< 1-D FFT invocations (spectral)
+  long long steady_solves = 0;      ///< full-field steady solves performed
+  long long influence_columns = 0;  ///< unit-source influence columns built
+  long long cg_iterations = 0;      ///< total CG iterations (FDM)
+  long long modes = 0;              ///< cosine modes carried (spectral)
+  long long fft_calls = 0;          ///< 1-D FFT invocations (spectral)
   long long transient_steps = 0;  ///< step_transient calls served
   /// Transient steps that re-ingested CHANGED source powers (spectral: flux
   /// re-projection; FDM: source-term RHS rebuild). Epoch-driven drivers

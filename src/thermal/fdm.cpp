@@ -175,14 +175,15 @@ FdmThermalSolver::Solution FdmThermalSolver::solve_steady(
     PTHERM_REQUIRE(warm_start->size() == cell_count(), "FDM warm start size mismatch");
     x0 = *warm_start;
   }
-  const auto cg = numerics::conjugate_gradient(laplacian_, rhs, opts_.cg, x0,
-                                               laplacian_ic_ ? &*laplacian_ic_ : nullptr);
+  auto cg = numerics::conjugate_gradient(laplacian_, rhs, opts_.cg, x0,
+                                         laplacian_ic_ ? &*laplacian_ic_ : nullptr);
   Solution sol;
-  sol.rise = cg.x;
+  sol.rise = std::move(cg.x);
   sol.cg_iterations = cg.iterations;
   sol.converged = cg.converged;
   sol.breakdown = cg.breakdown;
   sol.residual = cg.residual;
+  sol.cg_residuals = std::move(cg.residuals);
   return sol;
 }
 

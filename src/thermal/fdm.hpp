@@ -84,6 +84,9 @@ class FdmThermalSolver {
     /// relative residual of the returned field.
     bool breakdown = false;
     double residual = 0.0;
+    /// With FdmOptions::cg.trace: the CG residual after each iteration
+    /// (numerics::CgResult::residuals). Empty when tracing is off.
+    std::vector<double> cg_residuals;
   };
   [[nodiscard]] Solution solve_steady(const std::vector<HeatSource>& sources,
                                       const std::vector<double>* warm_start = nullptr) const;

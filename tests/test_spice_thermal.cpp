@@ -259,7 +259,7 @@ TEST(CosimDiagnostics, RunawayCarriesStructuredContext) {
   bool found = false;
   for (const auto& b : plan.blocks()) found = found || (b.name == r.diagnostics->worst);
   EXPECT_TRUE(found) << "worst=" << r.diagnostics->worst;
-  EXPECT_FALSE(r.diagnostics->format().empty());
+  EXPECT_FALSE(r.diagnostics->summary().empty());
 }
 
 TEST(CosimDiagnostics, ConvergedSolveCarriesNone) {

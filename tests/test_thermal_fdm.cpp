@@ -216,9 +216,9 @@ TEST(Fdm, TransientApproachesSteadyState) {
   double max_seen = 0.0;
   for (int s = 0; s < 40; ++s) {
     solver.step_transient(rise, dt, sources);
-    max_seen = std::max(max_seen, solver.surface_rise({rise, 0, true}, 0.5e-3, 0.5e-3));
+    max_seen = std::max(max_seen, solver.surface_rise({rise, 0, true, false, 0.0, {}}, 0.5e-3, 0.5e-3));
   }
-  const double t_final = solver.surface_rise({rise, 0, true}, 0.5e-3, 0.5e-3);
+  const double t_final = solver.surface_rise({rise, 0, true, false, 0.0, {}}, 0.5e-3, 0.5e-3);
   const double t_steady = solver.surface_rise(steady, 0.5e-3, 0.5e-3);
   EXPECT_NEAR(t_final / t_steady, 1.0, 0.02);
   // Monotone heating: the final value is the max.
@@ -236,9 +236,9 @@ TEST(Fdm, TransientCoolsAfterPowerOff) {
   const std::vector<HeatSource> off = {};
   std::vector<double> rise(solver.cell_count(), 0.0);
   for (int s = 0; s < 20; ++s) solver.step_transient(rise, 0.5e-3, on);
-  const double hot = solver.surface_rise({rise, 0, true}, 0.5e-3, 0.5e-3);
+  const double hot = solver.surface_rise({rise, 0, true, false, 0.0, {}}, 0.5e-3, 0.5e-3);
   for (int s = 0; s < 20; ++s) solver.step_transient(rise, 0.5e-3, off);
-  const double cooled = solver.surface_rise({rise, 0, true}, 0.5e-3, 0.5e-3);
+  const double cooled = solver.surface_rise({rise, 0, true, false, 0.0, {}}, 0.5e-3, 0.5e-3);
   EXPECT_LT(cooled, 0.15 * hot);
 }
 
